@@ -1,0 +1,279 @@
+package beacon
+
+import (
+	"fmt"
+	"strings"
+
+	"beacon/internal/core"
+	"beacon/internal/report"
+)
+
+// This file contains ablation studies beyond the paper's figures: sweeps
+// over the design choices DESIGN.md calls out (multi-chip coalescing group
+// size, CXLG-DIMM population, CXL link bandwidth, task-scheduler queue
+// depth, pool scale). They answer "why these parameters" questions a reader
+// of the paper is left with, using the same workloads and machines as the
+// main figures.
+
+// AblationPoint is one configuration of a sweep.
+type AblationPoint struct {
+	// Label names the swept value.
+	Label string
+	// Cycles is the makespan.
+	Cycles int64
+	// Speedup is relative to the sweep's first point.
+	Speedup float64
+	// Extra carries a sweep-specific secondary metric (documented per
+	// ablation function).
+	Extra float64
+}
+
+// AblationResult is a completed sweep.
+type AblationResult struct {
+	Title     string
+	ExtraName string
+	Points    []AblationPoint
+}
+
+// String renders the sweep.
+func (a *AblationResult) String() string {
+	t := report.NewTable(a.Title, "config", "cycles", "speedup", a.ExtraName)
+	for _, p := range a.Points {
+		t.AddRow(p.Label, fmt.Sprintf("%d", p.Cycles),
+			report.FormatRatio(p.Speedup), fmt.Sprintf("%.3f", p.Extra))
+	}
+	return t.String()
+}
+
+func (a *AblationResult) finish() {
+	if len(a.Points) == 0 {
+		return
+	}
+	base := float64(a.Points[0].Cycles)
+	for i := range a.Points {
+		a.Points[i].Speedup = base / float64(a.Points[i].Cycles)
+	}
+}
+
+// AblationCoalesceGroup sweeps the multi-chip coalescing group size on
+// BEACON-D FM-index seeding (the knob §IV-D says is "fine-tuned to achieve
+// the best performance"). Extra is the DRAM overfetch ratio
+// (transferred/useful bytes): group 16 (lock-step) wastes bandwidth on a
+// 32 B access, group 1 (per-chip) unbalances chips; 8 is the sweet spot for
+// 32 B objects on x4 chips.
+func AblationCoalesceGroup(rc RunConfig) (*AblationResult, error) {
+	wl, err := rc.buildWorkload(FMSeeding, PinusTaeda, MultiPass)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{
+		Title:     "Ablation — multi-chip coalescing group size (BEACON-D, FM seeding)",
+		ExtraName: "overfetch",
+	}
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		cfg := core.DefaultConfig(core.DesignD, core.AllOptions())
+		cfg.CoalesceGroup = g
+		res, err := core.Run(cfg, internalTrace(wl))
+		if err != nil {
+			return nil, err
+		}
+		over := 1.0
+		if res.DRAM.UsefulBytes > 0 {
+			over = float64(res.DRAM.TransferredBytes) / float64(res.DRAM.UsefulBytes)
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label:  fmt.Sprintf("group=%d", g),
+			Cycles: int64(res.Cycles),
+			Extra:  over,
+		})
+	}
+	out.finish()
+	return out, nil
+}
+
+// AblationCXLGPerSwitch sweeps the number of enhanced CXLG-DIMMs per switch
+// on BEACON-D FM seeding — the cost/performance dial between BEACON-S
+// (zero customized DIMMs) and a fully customized pool. Extra is the local
+// access fraction.
+func AblationCXLGPerSwitch(rc RunConfig) (*AblationResult, error) {
+	wl, err := rc.buildWorkload(FMSeeding, PinusTaeda, MultiPass)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{
+		Title:     "Ablation — CXLG-DIMMs per switch (BEACON-D, FM seeding)",
+		ExtraName: "local-frac",
+	}
+	for _, n := range []int{1, 2, 3, 4} {
+		cfg := core.DefaultConfig(core.DesignD, core.AllOptions())
+		cfg.CXLGPerSwitch = n
+		res, err := core.Run(cfg, internalTrace(wl))
+		if err != nil {
+			return nil, err
+		}
+		local := 0.0
+		if t := res.LocalAccesses + res.RemoteAccesses; t > 0 {
+			local = float64(res.LocalAccesses) / float64(t)
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label:  fmt.Sprintf("cxlg=%d", n),
+			Cycles: int64(res.Cycles),
+			Extra:  local,
+		})
+	}
+	out.finish()
+	return out, nil
+}
+
+// AblationLinkBandwidth sweeps the per-DIMM CXL link bandwidth on BEACON-S
+// FM seeding (x4 through x32 PCIe 5.0 equivalents). Extra is the
+// communication share of energy. BEACON-S routes every access over these
+// links, so this is its most sensitive parameter.
+func AblationLinkBandwidth(rc RunConfig) (*AblationResult, error) {
+	wl, err := rc.buildWorkload(FMSeeding, PinusTaeda, MultiPass)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{
+		Title:     "Ablation — per-DIMM CXL link bandwidth (BEACON-S, FM seeding)",
+		ExtraName: "comm-energy",
+	}
+	opts := core.Options{DataPacking: true, MemAccessOpt: true, Placement: true}
+	for _, bpc := range []float64{10, 20, 40, 80, 160} {
+		cfg := core.DefaultConfig(core.DesignS, opts)
+		cfg.Fabric.DIMMLink.BytesPerCycle = bpc
+		res, err := core.Run(cfg, internalTrace(wl))
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label:  fmt.Sprintf("x%d (%.1f GB/s)", int(bpc/10), bpc*0.8),
+			Cycles: int64(res.Cycles),
+			Extra:  res.Energy.CommunicationRatio(),
+		})
+	}
+	out.finish()
+	return out, nil
+}
+
+// AblationInFlight sweeps the Task Scheduler queue depth on BEACON-S FM
+// seeding. The scheduler must keep enough tasks in flight to cover the
+// fabric's bandwidth-delay product; the sweep shows throughput saturating
+// once the queue is deep enough. Extra is tasks-in-flight per PE.
+func AblationInFlight(rc RunConfig) (*AblationResult, error) {
+	wl, err := rc.buildWorkload(FMSeeding, PinusTaeda, MultiPass)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{
+		Title:     "Ablation — task scheduler queue depth (BEACON-S, FM seeding)",
+		ExtraName: "tasks/PE",
+	}
+	opts := core.Options{DataPacking: true, MemAccessOpt: true, Placement: true}
+	for _, inflight := range []int{64, 256, 1024, 4096} {
+		cfg := core.DefaultConfig(core.DesignS, opts)
+		cfg.InFlightPerNode = inflight
+		res, err := core.Run(cfg, internalTrace(wl))
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label:  fmt.Sprintf("inflight=%d", inflight),
+			Cycles: int64(res.Cycles),
+			Extra:  float64(inflight) / float64(cfg.PEsPerNode),
+		})
+	}
+	out.finish()
+	return out, nil
+}
+
+// AblationPoolScale sweeps the pool size (switch count) on BEACON-D FM
+// seeding with the workload held constant — the scalability claim behind
+// "the memory pool ... can scale-out far beyond this". Extra is the number
+// of compute nodes.
+func AblationPoolScale(rc RunConfig) (*AblationResult, error) {
+	wl, err := rc.buildWorkload(FMSeeding, PinusTaeda, MultiPass)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{
+		Title:     "Ablation — pool scale-out (BEACON-D, FM seeding, fixed workload)",
+		ExtraName: "nodes",
+	}
+	for _, switches := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig(core.DesignD, core.AllOptions())
+		cfg.Switches = switches
+		res, err := core.Run(cfg, internalTrace(wl))
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label:  fmt.Sprintf("switches=%d", switches),
+			Cycles: int64(res.Cycles),
+			Extra:  float64(switches * cfg.CXLGPerSwitch),
+		})
+	}
+	out.finish()
+	return out, nil
+}
+
+// AblationRowPolicy compares open-page and closed-page row policies on
+// BEACON-D for a locality-rich workload (hash seeding, spatial candidate
+// lists) and a random fine-grained one (FM seeding). Extra is the row-hit
+// fraction.
+func AblationRowPolicy(rc RunConfig) (*AblationResult, error) {
+	out := &AblationResult{
+		Title:     "Ablation — row-buffer policy (BEACON-D)",
+		ExtraName: "row-hit-frac",
+	}
+	for _, app := range []Application{FMSeeding, HashSeeding} {
+		wl, err := rc.buildWorkload(app, PinusTaeda, MultiPass)
+		if err != nil {
+			return nil, err
+		}
+		for _, closed := range []bool{false, true} {
+			cfg := core.DefaultConfig(core.DesignD, core.AllOptions())
+			cfg.DIMM.ClosedPage = closed
+			res, err := core.Run(cfg, internalTrace(wl))
+			if err != nil {
+				return nil, err
+			}
+			policy := "open"
+			if closed {
+				policy = "closed"
+			}
+			hitFrac := 0.0
+			if total := res.DRAM.RowHits + res.DRAM.RowMisses + res.DRAM.RowConflicts; total > 0 {
+				hitFrac = float64(res.DRAM.RowHits) / float64(total)
+			}
+			out.Points = append(out.Points, AblationPoint{
+				Label:  fmt.Sprintf("%s/%s-page", app, policy),
+				Cycles: int64(res.Cycles),
+				Extra:  hitFrac,
+			})
+		}
+	}
+	out.finish()
+	return out, nil
+}
+
+// AllAblations runs every sweep and renders them.
+func AllAblations(rc RunConfig) (string, error) {
+	var b strings.Builder
+	for _, fn := range []func(RunConfig) (*AblationResult, error){
+		AblationCoalesceGroup,
+		AblationCXLGPerSwitch,
+		AblationLinkBandwidth,
+		AblationInFlight,
+		AblationPoolScale,
+		AblationRowPolicy,
+	} {
+		res, err := fn(rc)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(res.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,105 @@
+// Command beaconbench regenerates every table and figure of the paper's
+// evaluation section (Fig. 3, Tables I/II, Figs. 12-17, and the §VI-G
+// optimization summary) as text tables.
+//
+//	beaconbench            # full scale (minutes)
+//	beaconbench -quick     # reduced scale (tens of seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	beacon "beacon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beaconbench: ")
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablation sweeps")
+	flag.Parse()
+
+	rc := beacon.DefaultRunConfig()
+	if *quick {
+		rc = beacon.QuickRunConfig()
+	}
+	fmt.Printf("BEACON evaluation harness (scale=%d, reads=%d)\n\n", rc.GenomeScale, rc.Reads)
+	start := time.Now()
+
+	section("Table II — PE synthesis results (constants from the paper)")
+	for _, row := range beacon.TableII() {
+		fmt.Printf("  %-8s area %9.2f um2   dynamic %5.2f mW   leakage %5.2f uW\n",
+			row.Architecture, row.AreaUM2, row.DynamicMW, row.LeakageUW)
+	}
+	fmt.Println()
+
+	section("Figure 3 — motivation: idealized communication on DDR NDP baselines")
+	fig3, err := beacon.Figure3(rc)
+	check(err)
+	fmt.Println(fig3)
+
+	section("Figure 12 — FM-index based DNA seeding")
+	d12, s12, err := beacon.Figure12(rc)
+	check(err)
+	fmt.Println(d12)
+	fmt.Println(s12)
+
+	section("Figure 13 — per-chip access balance (multi-chip coalescing)")
+	fig13, err := beacon.Figure13(rc)
+	check(err)
+	fmt.Println(fig13)
+
+	section("Figure 14 — Hash-index based DNA seeding")
+	d14, s14, err := beacon.Figure14(rc)
+	check(err)
+	fmt.Println(d14)
+	fmt.Println(s14)
+
+	section("Figure 15 — k-mer counting")
+	d15, s15, err := beacon.Figure15(rc)
+	check(err)
+	fmt.Println(d15)
+	fmt.Println(s15)
+
+	section("Figure 16 — DNA pre-alignment")
+	fig16, err := beacon.Figure16(rc)
+	check(err)
+	fmt.Println(fig16)
+
+	section("Figure 17 — energy breakdown")
+	for _, kind := range []beacon.PlatformKind{beacon.BeaconD, beacon.BeaconS} {
+		fig17, err := beacon.Figure17(kind, rc)
+		check(err)
+		fmt.Println(fig17)
+	}
+
+	section("§VI-G — optimization summary")
+	for _, kind := range []beacon.PlatformKind{beacon.BeaconD, beacon.BeaconS} {
+		sum, err := beacon.OptimizationSummary(kind, rc)
+		check(err)
+		fmt.Printf("%s\n", sum)
+	}
+
+	if *ablations {
+		fmt.Println()
+		section("Ablations — design-choice sweeps (beyond the paper)")
+		out, err := beacon.AllAblations(rc)
+		check(err)
+		fmt.Println(out)
+	}
+
+	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Printf("==== %s ====\n", title)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

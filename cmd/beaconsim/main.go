@@ -1,0 +1,104 @@
+// Command beaconsim runs a single workload on a single platform and prints
+// the resulting performance/energy report.
+//
+// Examples:
+//
+//	beaconsim -app fm-seeding -species Pt -platform beacon-d
+//	beaconsim -app kmer-counting -species Hs -platform beacon-s -singlepass
+//	beaconsim -app hash-seeding -species Am -platform ddr-ndp -reads 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	beacon "beacon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beaconsim: ")
+
+	var (
+		app      = flag.String("app", "fm-seeding", "application: fm-seeding | hash-seeding | kmer-counting | pre-alignment")
+		species  = flag.String("species", "Pt", "dataset: Pt | Pg | Ss | Am | Nf | Hs")
+		platform = flag.String("platform", "beacon-d", "platform: cpu | ddr-ndp | beacon-d | beacon-s")
+		scale    = flag.Int("scale", 30000, "genome scale (bases per relative Gbp)")
+		reads    = flag.Int("reads", 500, "read count")
+		seed     = flag.Uint64("seed", 0xBEAC07, "sampling seed")
+
+		vanilla    = flag.Bool("vanilla", false, "disable all optimizations (CXL-vanilla)")
+		ideal      = flag.Bool("ideal", false, "idealized communication")
+		singlepass = flag.Bool("singlepass", false, "single-pass k-mer counting flow")
+	)
+	flag.Parse()
+
+	var a beacon.Application
+	switch *app {
+	case "fm-seeding":
+		a = beacon.FMSeeding
+	case "hash-seeding":
+		a = beacon.HashSeeding
+	case "kmer-counting":
+		a = beacon.KmerCounting
+	case "pre-alignment":
+		a = beacon.PreAlignment
+	default:
+		log.Fatalf("unknown application %q", *app)
+	}
+
+	var kind beacon.PlatformKind
+	switch *platform {
+	case "cpu":
+		kind = beacon.CPU
+	case "ddr-ndp":
+		kind = beacon.DDRBaseline
+	case "beacon-d":
+		kind = beacon.BeaconD
+	case "beacon-s":
+		kind = beacon.BeaconS
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+
+	cfg := beacon.DefaultWorkloadConfig(beacon.Species(*species))
+	cfg.GenomeScale = *scale
+	cfg.Reads = *reads
+	cfg.Seed = *seed
+	if *singlepass {
+		cfg.Flow = beacon.SinglePass
+	}
+
+	wl, err := beacon.NewWorkload(a, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d tasks, %d steps, %.1f MiB footprint (functionally verified: %v)\n",
+		wl.Name, wl.Tasks, wl.Steps, float64(wl.FootprintBytes)/(1<<20), wl.Verified)
+
+	opts := beacon.AllOptimizations()
+	if *vanilla {
+		opts = beacon.Vanilla()
+	}
+	if *ideal {
+		opts.IdealComm = true
+	}
+	rep, err := beacon.Simulate(beacon.Platform{Kind: kind, Opts: opts}, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform %s:\n", kind)
+	fmt.Printf("  cycles          %d (%.3f ms)\n", rep.Cycles, rep.Seconds*1e3)
+	fmt.Printf("  energy          %.3f mJ (comm %.1f%%, DRAM %.1f%%, compute %.1f%%)\n",
+		rep.EnergyPJ/1e9,
+		100*rep.CommEnergyPJ/rep.EnergyPJ, 100*rep.DRAMEnergyPJ/rep.EnergyPJ,
+		100*rep.ComputeEnergyPJ/rep.EnergyPJ)
+	if kind != beacon.CPU {
+		fmt.Printf("  local accesses  %.1f%%\n", 100*rep.LocalFraction)
+		fmt.Printf("  wire traffic    %.2f MiB, %d host crossings\n",
+			float64(rep.WireBytes)/(1<<20), rep.HostCrossings)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,69 @@
+package beacon_test
+
+import (
+	"fmt"
+
+	beacon "beacon"
+)
+
+// ExampleSimulate runs FM-index seeding on BEACON-D with the full
+// optimization stack and checks the headline relations.
+func ExampleSimulate() {
+	cfg := beacon.DefaultWorkloadConfig(beacon.PinusTaeda)
+	cfg.GenomeScale = 8000
+	cfg.Reads = 100
+
+	wl, err := beacon.NewFMSeedingWorkload(cfg)
+	if err != nil {
+		panic(err)
+	}
+	cpu, err := beacon.Simulate(beacon.Platform{Kind: beacon.CPU}, wl)
+	if err != nil {
+		panic(err)
+	}
+	d, err := beacon.Simulate(beacon.Platform{
+		Kind: beacon.BeaconD,
+		Opts: beacon.AllOptimizations(),
+	}, wl)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", wl.Verified)
+	fmt.Println("beacon-d faster than cpu:", d.Seconds < cpu.Seconds)
+	// Output:
+	// verified: true
+	// beacon-d faster than cpu: true
+}
+
+// ExampleNewKmerCountingWorkload contrasts the two counting flows.
+func ExampleNewKmerCountingWorkload() {
+	cfg := beacon.DefaultWorkloadConfig(beacon.Human)
+	cfg.GenomeScale = 8000
+	cfg.Reads = 100
+
+	mp, err := beacon.NewKmerCountingWorkload(cfg)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Flow = beacon.SinglePass
+	sp, err := beacon.NewKmerCountingWorkload(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// Multi-pass reads the input twice, so its trace has about twice the
+	// tasks of single-pass.
+	fmt.Println("multi-pass tasks ==", mp.Tasks/sp.Tasks, "x single-pass tasks")
+	// Output:
+	// multi-pass tasks == 2 x single-pass tasks
+}
+
+// ExampleOptions shows positioning a platform on the optimization ladder.
+func ExampleOptions() {
+	vanilla := beacon.Vanilla()
+	full := beacon.AllOptimizations()
+	fmt.Println("vanilla packing:", vanilla.DataPacking)
+	fmt.Println("full coalescing:", full.Coalescing)
+	// Output:
+	// vanilla packing: false
+	// full coalescing: true
+}

@@ -1,0 +1,632 @@
+package beacon
+
+import (
+	"fmt"
+	"strings"
+
+	"beacon/internal/energy"
+	"beacon/internal/report"
+	"beacon/internal/stats"
+)
+
+// RunConfig scales the evaluation harness. Larger values sharpen the
+// throughput-bound behaviour at the cost of wall-clock time.
+type RunConfig struct {
+	// GenomeScale is bases per relative Gbp of the real assemblies.
+	GenomeScale int
+	// Reads is the read count per dataset.
+	Reads int
+	// Seed drives sampling.
+	Seed uint64
+}
+
+// DefaultRunConfig is the scale used for EXPERIMENTS.md.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{GenomeScale: 30_000, Reads: 500, Seed: 0xBEAC07}
+}
+
+// QuickRunConfig is a reduced scale for tests.
+func QuickRunConfig() RunConfig {
+	return RunConfig{GenomeScale: 8_000, Reads: 120, Seed: 0xBEAC07}
+}
+
+func (rc RunConfig) workloadConfig(sp Species) WorkloadConfig {
+	cfg := DefaultWorkloadConfig(sp)
+	cfg.GenomeScale = rc.GenomeScale
+	cfg.Reads = rc.Reads
+	cfg.Seed = rc.Seed
+	return cfg
+}
+
+// ladderStep is one position on a figure's optimization ladder.
+type ladderStep struct {
+	Name string
+	Opts Options
+	// Flow overrides the k-mer flow for this step (k-mer ladders only).
+	Flow KmerFlow
+}
+
+// seedingLadder returns the paper's step sequence for a design.
+// BEACON-D's FM ladder ends with multi-chip coalescing; BEACON-S never
+// coalesces (its DIMMs are unmodified).
+func ladderFor(app Application, kind PlatformKind) []ladderStep {
+	packing := Options{DataPacking: true}
+	memacc := Options{DataPacking: true, MemAccessOpt: true}
+	placed := Options{DataPacking: true, MemAccessOpt: true, Placement: true}
+	steps := []ladderStep{
+		{Name: "CXL-vanilla", Opts: Vanilla()},
+		{Name: "+data packing", Opts: packing},
+		{Name: "+mem access opt", Opts: memacc},
+		{Name: "+placement/mapping", Opts: placed},
+	}
+	if kind == BeaconD && app == FMSeeding {
+		steps = append(steps, ladderStep{Name: "+multi-chip coalescing", Opts: AllOptimizations()})
+	}
+	if kind == BeaconS && app == KmerCounting {
+		steps = append(steps, ladderStep{Name: "+single-pass KMC", Opts: placed, Flow: SinglePass})
+	}
+	return steps
+}
+
+// finalOptions returns the fully optimized configuration for a design/app.
+func finalOptions(app Application, kind PlatformKind) Options {
+	steps := ladderFor(app, kind)
+	return steps[len(steps)-1].Opts
+}
+
+// LadderEntry is one (step, dataset) cell of a figure.
+type LadderEntry struct {
+	Step    string
+	Species Species
+	// PerfVsCPU and EnergyVsCPU normalize to the CPU baseline, as every bar
+	// chart in the paper does.
+	PerfVsCPU   float64
+	EnergyVsCPU float64
+	// CommEnergyRatio is the communication share (Fig. 17).
+	CommEnergyRatio float64
+}
+
+// LadderFigure reproduces one panel pair of Figs. 12/14/15.
+type LadderFigure struct {
+	App     Application
+	Kind    PlatformKind
+	Species []Species
+	Steps   []string
+	Entries []LadderEntry
+	// GeoPerfVsCPU / GeoEnergyVsCPU index by step (geomean across species).
+	GeoPerfVsCPU   []float64
+	GeoEnergyVsCPU []float64
+	// StepGains is the per-step multiplicative performance gain.
+	StepGains []float64
+	// VsBaselinePerf and VsBaselineEnergy compare the final step to the
+	// DDR NDP baseline (MEDAL/NEST).
+	VsBaselinePerf, VsBaselineEnergy float64
+	// VanillaVsBaselinePerf compares CXL-vanilla to the DDR baseline.
+	VanillaVsBaselinePerf float64
+	// PctOfIdealPerf and PctOfIdealEnergy compare the final step to the
+	// idealized-communication design.
+	PctOfIdealPerf, PctOfIdealEnergy float64
+}
+
+// buildWorkload constructs the workload for a species with a flow override.
+// Hash seeding issues ~6x fewer memory steps per read than FM seeding, so
+// its read count is scaled up to keep the timing runs in the same
+// throughput-bound regime as the other applications.
+func (rc RunConfig) buildWorkload(app Application, sp Species, flow KmerFlow) (*Workload, error) {
+	cfg := rc.workloadConfig(sp)
+	cfg.Flow = flow
+	if app == HashSeeding {
+		cfg.Reads *= 2
+	}
+	return NewWorkload(app, cfg)
+}
+
+// speciesFor returns the datasets an application is evaluated on.
+func speciesFor(app Application) []Species {
+	if app == KmerCounting {
+		return []Species{Human}
+	}
+	return AllSeedingSpecies()
+}
+
+// baselineFlow returns the flow the DDR baseline (NEST) uses.
+func baselineFlow(app Application) KmerFlow { return MultiPass }
+
+// runLadder executes a full ladder figure.
+func runLadder(app Application, kind PlatformKind, rc RunConfig) (*LadderFigure, error) {
+	speciesList := speciesFor(app)
+	steps := ladderFor(app, kind)
+	fig := &LadderFigure{App: app, Kind: kind, Species: speciesList}
+	for _, s := range steps {
+		fig.Steps = append(fig.Steps, s.Name)
+	}
+
+	type perSpecies struct {
+		cpu    *Report
+		ddr    *Report
+		ladder []*Report
+		ideal  *Report
+	}
+	all := make([]perSpecies, len(speciesList))
+
+	defaultFlow := MultiPass // D and the baselines count multi-pass
+	for si, sp := range speciesList {
+		wlDefault, err := rc.buildWorkload(app, sp, defaultFlow)
+		if err != nil {
+			return nil, err
+		}
+		// The CPU software is single-pass-equivalent (BFCounter reads input
+		// once); normalize against the single-pass trace for k-mer counting.
+		cpuWL := wlDefault
+		if app == KmerCounting {
+			if cpuWL, err = rc.buildWorkload(app, sp, SinglePass); err != nil {
+				return nil, err
+			}
+		}
+		cpu, err := Simulate(Platform{Kind: CPU}, cpuWL)
+		if err != nil {
+			return nil, err
+		}
+		ddr, err := Simulate(Platform{Kind: DDRBaseline}, wlDefault)
+		if err != nil {
+			return nil, err
+		}
+		ps := perSpecies{cpu: cpu, ddr: ddr}
+		for _, st := range steps {
+			wl := wlDefault
+			if app == KmerCounting && st.Flow == SinglePass {
+				if wl, err = rc.buildWorkload(app, sp, SinglePass); err != nil {
+					return nil, err
+				}
+			}
+			rep, err := Simulate(Platform{Kind: kind, Opts: st.Opts}, wl)
+			if err != nil {
+				return nil, err
+			}
+			ps.ladder = append(ps.ladder, rep)
+		}
+		// Ideal uses the final step's workload and options plus IdealComm.
+		idealOpts := steps[len(steps)-1].Opts
+		idealOpts.IdealComm = true
+		idealWL := wlDefault
+		if app == KmerCounting && steps[len(steps)-1].Flow == SinglePass {
+			if idealWL, err = rc.buildWorkload(app, sp, SinglePass); err != nil {
+				return nil, err
+			}
+		}
+		ideal, err := Simulate(Platform{Kind: kind, Opts: idealOpts}, idealWL)
+		if err != nil {
+			return nil, err
+		}
+		ps.ideal = ideal
+		all[si] = ps
+	}
+
+	// Populate entries and aggregates.
+	for stepIdx, stepName := range fig.Steps {
+		var perfs, energies []float64
+		for si, sp := range speciesList {
+			rep := all[si].ladder[stepIdx]
+			perf := all[si].cpu.Seconds / rep.Seconds
+			en := all[si].cpu.EnergyPJ / rep.EnergyPJ
+			fig.Entries = append(fig.Entries, LadderEntry{
+				Step: stepName, Species: sp,
+				PerfVsCPU: perf, EnergyVsCPU: en,
+				CommEnergyRatio: rep.CommEnergyRatio(),
+			})
+			perfs = append(perfs, perf)
+			energies = append(energies, en)
+		}
+		fig.GeoPerfVsCPU = append(fig.GeoPerfVsCPU, stats.MustGeoMean(perfs))
+		fig.GeoEnergyVsCPU = append(fig.GeoEnergyVsCPU, stats.MustGeoMean(energies))
+	}
+	for i := 1; i < len(fig.GeoPerfVsCPU); i++ {
+		fig.StepGains = append(fig.StepGains, fig.GeoPerfVsCPU[i]/fig.GeoPerfVsCPU[i-1])
+	}
+
+	var vsBasePerf, vsBaseEnergy, vanVsBase, pctIdeal, pctIdealEnergy []float64
+	last := len(fig.Steps) - 1
+	for si := range speciesList {
+		fin := all[si].ladder[last]
+		vsBasePerf = append(vsBasePerf, all[si].ddr.Seconds/fin.Seconds)
+		vsBaseEnergy = append(vsBaseEnergy, all[si].ddr.EnergyPJ/fin.EnergyPJ)
+		vanVsBase = append(vanVsBase, all[si].ddr.Seconds/all[si].ladder[0].Seconds)
+		pctIdeal = append(pctIdeal, all[si].ideal.Seconds/fin.Seconds)
+		pctIdealEnergy = append(pctIdealEnergy, all[si].ideal.EnergyPJ/fin.EnergyPJ)
+	}
+	fig.VsBaselinePerf = stats.MustGeoMean(vsBasePerf)
+	fig.VsBaselineEnergy = stats.MustGeoMean(vsBaseEnergy)
+	fig.VanillaVsBaselinePerf = stats.MustGeoMean(vanVsBase)
+	fig.PctOfIdealPerf = stats.MustGeoMean(pctIdeal)
+	fig.PctOfIdealEnergy = stats.MustGeoMean(pctIdealEnergy)
+	return fig, nil
+}
+
+// String renders the figure as text tables.
+func (f *LadderFigure) String() string {
+	var b strings.Builder
+	title := fmt.Sprintf("%s on %s — performance vs 48-thread CPU", f.App, f.Kind)
+	headers := []string{"step"}
+	for _, sp := range f.Species {
+		headers = append(headers, string(sp))
+	}
+	headers = append(headers, "GM")
+	perf := report.NewTable(title, headers...)
+	en := report.NewTable(strings.Replace(title, "performance", "energy reduction", 1), headers...)
+	for si, step := range f.Steps {
+		prow := []string{step}
+		erow := []string{step}
+		for _, e := range f.Entries[si*len(f.Species) : (si+1)*len(f.Species)] {
+			prow = append(prow, report.FormatRatio(e.PerfVsCPU))
+			erow = append(erow, report.FormatRatio(e.EnergyVsCPU))
+		}
+		prow = append(prow, report.FormatRatio(f.GeoPerfVsCPU[si]))
+		erow = append(erow, report.FormatRatio(f.GeoEnergyVsCPU[si]))
+		perf.AddRow(prow...)
+		en.AddRow(erow...)
+	}
+	b.WriteString(perf.String())
+	b.WriteByte('\n')
+	b.WriteString(en.String())
+	fmt.Fprintf(&b, "\nfinal vs DDR NDP baseline: %s perf, %s energy (vanilla vs baseline: %s)\n",
+		report.FormatRatio(f.VsBaselinePerf), report.FormatRatio(f.VsBaselineEnergy),
+		report.FormatRatio(f.VanillaVsBaselinePerf))
+	fmt.Fprintf(&b, "final vs idealized communication: %s perf, %s energy efficiency\n",
+		report.FormatPercent(f.PctOfIdealPerf), report.FormatPercent(f.PctOfIdealEnergy))
+	return b.String()
+}
+
+// Figure12 reproduces the FM-index seeding evaluation for both designs.
+func Figure12(rc RunConfig) (d, s *LadderFigure, err error) {
+	if d, err = runLadder(FMSeeding, BeaconD, rc); err != nil {
+		return nil, nil, err
+	}
+	if s, err = runLadder(FMSeeding, BeaconS, rc); err != nil {
+		return nil, nil, err
+	}
+	return d, s, nil
+}
+
+// Figure14 reproduces the hash-index seeding evaluation.
+func Figure14(rc RunConfig) (d, s *LadderFigure, err error) {
+	if d, err = runLadder(HashSeeding, BeaconD, rc); err != nil {
+		return nil, nil, err
+	}
+	if s, err = runLadder(HashSeeding, BeaconS, rc); err != nil {
+		return nil, nil, err
+	}
+	return d, s, nil
+}
+
+// Figure15 reproduces the k-mer counting evaluation.
+func Figure15(rc RunConfig) (d, s *LadderFigure, err error) {
+	if d, err = runLadder(KmerCounting, BeaconD, rc); err != nil {
+		return nil, nil, err
+	}
+	if s, err = runLadder(KmerCounting, BeaconS, rc); err != nil {
+		return nil, nil, err
+	}
+	return d, s, nil
+}
+
+// Fig3Row is one workload of Fig. 3.
+type Fig3Row struct {
+	Workload string
+	// PerfGain and EnergyGain are idealized-communication improvements for
+	// the DDR NDP baseline.
+	PerfGain, EnergyGain float64
+}
+
+// Figure3Result reproduces Fig. 3.
+type Figure3Result struct {
+	Rows []Fig3Row
+	// AvgPerf / AvgEnergy are geometric means (paper: 4.36x / 2.32x).
+	AvgPerf, AvgEnergy float64
+}
+
+// Figure3 measures how much idealized communication would speed up the
+// previous DDR-DIMM accelerators — the paper's motivation experiment.
+func Figure3(rc RunConfig) (*Figure3Result, error) {
+	out := &Figure3Result{}
+	var perfs, energies []float64
+	run := func(app Application, sp Species) error {
+		wl, err := rc.buildWorkload(app, sp, baselineFlow(app))
+		if err != nil {
+			return err
+		}
+		real, err := Simulate(Platform{Kind: DDRBaseline}, wl)
+		if err != nil {
+			return err
+		}
+		ideal, err := Simulate(Platform{Kind: DDRBaseline, Opts: Options{IdealComm: true}}, wl)
+		if err != nil {
+			return err
+		}
+		row := Fig3Row{
+			Workload:   fmt.Sprintf("%s/%s", app, sp),
+			PerfGain:   real.Seconds / ideal.Seconds,
+			EnergyGain: real.EnergyPJ / ideal.EnergyPJ,
+		}
+		out.Rows = append(out.Rows, row)
+		perfs = append(perfs, row.PerfGain)
+		energies = append(energies, row.EnergyGain)
+		return nil
+	}
+	for _, sp := range AllSeedingSpecies() {
+		if err := run(FMSeeding, sp); err != nil {
+			return nil, err
+		}
+		if err := run(HashSeeding, sp); err != nil {
+			return nil, err
+		}
+	}
+	if err := run(KmerCounting, Human); err != nil {
+		return nil, err
+	}
+	// The paper reports plain averages for Fig. 3.
+	out.AvgPerf = stats.Mean(perfs)
+	out.AvgEnergy = stats.Mean(energies)
+	return out, nil
+}
+
+// String renders Fig. 3.
+func (f *Figure3Result) String() string {
+	t := report.NewTable("Fig. 3 — DDR NDP baselines with idealized communication",
+		"workload", "perf gain", "energy gain")
+	for _, r := range f.Rows {
+		t.AddRow(r.Workload, report.FormatRatio(r.PerfGain), report.FormatRatio(r.EnergyGain))
+	}
+	t.AddRow("average", report.FormatRatio(f.AvgPerf), report.FormatRatio(f.AvgEnergy))
+	return t.String()
+}
+
+// Figure13Result reproduces the chip-balance study.
+type Figure13Result struct {
+	// WithoutCoalescing and WithCoalescing are per-chip access counts
+	// normalized to their mean.
+	WithoutCoalescing, WithCoalescing []float64
+	// CVWithout and CVWith are the coefficients of variation.
+	CVWithout, CVWith float64
+}
+
+// Figure13 measures per-chip access balance on the CXLG-DIMMs for FM-index
+// seeding, without and with multi-chip coalescing (Fig. 11/13).
+func Figure13(rc RunConfig) (*Figure13Result, error) {
+	wl, err := rc.buildWorkload(FMSeeding, PinusTaeda, MultiPass)
+	if err != nil {
+		return nil, err
+	}
+	placed := Options{DataPacking: true, MemAccessOpt: true, Placement: true}
+	without, err := Simulate(Platform{Kind: BeaconD, Opts: placed}, wl)
+	if err != nil {
+		return nil, err
+	}
+	with, err := Simulate(Platform{Kind: BeaconD, Opts: AllOptimizations()}, wl)
+	if err != nil {
+		return nil, err
+	}
+	norm := func(xs []uint64) ([]float64, float64) {
+		fs := make([]float64, len(xs))
+		for i, x := range xs {
+			fs[i] = float64(x)
+		}
+		mean := stats.Mean(fs)
+		if mean == 0 {
+			return fs, 0
+		}
+		out := make([]float64, len(fs))
+		for i := range fs {
+			out[i] = fs[i] / mean
+		}
+		return out, stats.CoefVar(fs)
+	}
+	res := &Figure13Result{}
+	res.WithoutCoalescing, res.CVWithout = norm(without.ChipAccesses)
+	res.WithCoalescing, res.CVWith = norm(with.ChipAccesses)
+	return res, nil
+}
+
+// String renders Fig. 13.
+func (f *Figure13Result) String() string {
+	t := report.NewTable("Fig. 13 — normalized memory access per DRAM chip (FM seeding)",
+		"chip", "w/o coalescing", "w/ coalescing")
+	for i := range f.WithoutCoalescing {
+		t.AddRow(fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.3f", f.WithoutCoalescing[i]),
+			fmt.Sprintf("%.3f", f.WithCoalescing[i]))
+	}
+	t.AddRow("CV", fmt.Sprintf("%.3f", f.CVWithout), fmt.Sprintf("%.3f", f.CVWith))
+	return t.String()
+}
+
+// Figure16Result reproduces the pre-alignment evaluation.
+type Figure16Result struct {
+	Species []Species
+	// PerfD/PerfS and EnergyD/EnergyS are per-species CPU-normalized values.
+	PerfD, PerfS, EnergyD, EnergyS []float64
+	// Geomeans.
+	GeoPerfD, GeoPerfS, GeoEnergyD, GeoEnergyS float64
+}
+
+// Figure16 runs DNA pre-alignment on both designs with full optimizations.
+func Figure16(rc RunConfig) (*Figure16Result, error) {
+	out := &Figure16Result{Species: AllSeedingSpecies()}
+	for _, sp := range out.Species {
+		wl, err := rc.buildWorkload(PreAlignment, sp, MultiPass)
+		if err != nil {
+			return nil, err
+		}
+		cpu, err := Simulate(Platform{Kind: CPU}, wl)
+		if err != nil {
+			return nil, err
+		}
+		d, err := Simulate(Platform{Kind: BeaconD, Opts: finalOptions(PreAlignment, BeaconD)}, wl)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Simulate(Platform{Kind: BeaconS, Opts: finalOptions(PreAlignment, BeaconS)}, wl)
+		if err != nil {
+			return nil, err
+		}
+		out.PerfD = append(out.PerfD, cpu.Seconds/d.Seconds)
+		out.PerfS = append(out.PerfS, cpu.Seconds/s.Seconds)
+		out.EnergyD = append(out.EnergyD, cpu.EnergyPJ/d.EnergyPJ)
+		out.EnergyS = append(out.EnergyS, cpu.EnergyPJ/s.EnergyPJ)
+	}
+	out.GeoPerfD = stats.MustGeoMean(out.PerfD)
+	out.GeoPerfS = stats.MustGeoMean(out.PerfS)
+	out.GeoEnergyD = stats.MustGeoMean(out.EnergyD)
+	out.GeoEnergyS = stats.MustGeoMean(out.EnergyS)
+	return out, nil
+}
+
+// String renders Fig. 16.
+func (f *Figure16Result) String() string {
+	t := report.NewTable("Fig. 16 — DNA pre-alignment vs 48-thread CPU",
+		"dataset", "BEACON-D perf", "BEACON-S perf", "BEACON-D energy", "BEACON-S energy")
+	for i, sp := range f.Species {
+		t.AddRow(string(sp),
+			report.FormatRatio(f.PerfD[i]), report.FormatRatio(f.PerfS[i]),
+			report.FormatRatio(f.EnergyD[i]), report.FormatRatio(f.EnergyS[i]))
+	}
+	t.AddRow("GM",
+		report.FormatRatio(f.GeoPerfD), report.FormatRatio(f.GeoPerfS),
+		report.FormatRatio(f.GeoEnergyD), report.FormatRatio(f.GeoEnergyS))
+	return t.String()
+}
+
+// Figure17Result reproduces the energy-breakdown study.
+type Figure17Result struct {
+	Kind PlatformKind
+	// Steps and CommRatio/DRAMRatio/ComputeRatio index the ladder,
+	// averaged across the four applications.
+	Steps        []string
+	CommRatio    []float64
+	DRAMRatio    []float64
+	ComputeRatio []float64
+}
+
+// Figure17 measures the energy breakdown along the ladder, averaged over
+// the four applications (one representative dataset each).
+func Figure17(kind PlatformKind, rc RunConfig) (*Figure17Result, error) {
+	apps := []Application{FMSeeding, HashSeeding, KmerCounting, PreAlignment}
+	// Use the longest ladder's step names; shorter ladders clamp to final.
+	maxSteps := []string{"CXL-vanilla", "+data packing", "+mem access opt", "+placement/mapping", "+app-specific"}
+	out := &Figure17Result{Kind: kind, Steps: maxSteps}
+	sums := make([]energy.Breakdown, len(maxSteps))
+	for _, app := range apps {
+		sp := speciesFor(app)[0]
+		steps := ladderFor(app, kind)
+		for i := range maxSteps {
+			st := steps[min(i, len(steps)-1)]
+			flow := MultiPass
+			if app == KmerCounting && st.Flow == SinglePass {
+				flow = SinglePass
+			}
+			wl, err := rc.buildWorkload(app, sp, flow)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := Simulate(Platform{Kind: kind, Opts: st.Opts}, wl)
+			if err != nil {
+				return nil, err
+			}
+			sums[i].Add(energy.Breakdown{
+				CommunicationPJ: rep.CommEnergyPJ / rep.EnergyPJ,
+				DRAMPJ:          rep.DRAMEnergyPJ / rep.EnergyPJ,
+				ComputePJ:       rep.ComputeEnergyPJ / rep.EnergyPJ,
+			})
+		}
+	}
+	for i := range maxSteps {
+		n := float64(len(apps))
+		out.CommRatio = append(out.CommRatio, sums[i].CommunicationPJ/n)
+		out.DRAMRatio = append(out.DRAMRatio, sums[i].DRAMPJ/n)
+		out.ComputeRatio = append(out.ComputeRatio, sums[i].ComputePJ/n)
+	}
+	return out, nil
+}
+
+// String renders Fig. 17.
+func (f *Figure17Result) String() string {
+	t := report.NewTable(fmt.Sprintf("Fig. 17 — energy breakdown on %s (avg over 4 apps)", f.Kind),
+		"step", "communication", "DRAM", "computation")
+	for i, s := range f.Steps {
+		t.AddRow(s, report.FormatPercent(f.CommRatio[i]),
+			report.FormatPercent(f.DRAMRatio[i]), report.FormatPercent(f.ComputeRatio[i]))
+	}
+	return t.String()
+}
+
+// TableIIRow re-exports the paper's PE synthesis results.
+type TableIIRow = energy.PEOverhead
+
+// TableII returns the paper's Table II (PE area/power constants used by the
+// energy model).
+func TableII() []TableIIRow { return energy.TableII() }
+
+// OptSummary reproduces §VI-G: total optimization gains per design.
+type OptSummary struct {
+	Kind PlatformKind
+	// PerfGain and EnergyGain are final-vs-vanilla geomeans across apps.
+	PerfGain, EnergyGain float64
+	// CommBefore and CommAfter are communication energy shares at vanilla
+	// and at the final step.
+	CommBefore, CommAfter float64
+}
+
+// OptimizationSummary aggregates the ladder gains across all four
+// applications for one design.
+func OptimizationSummary(kind PlatformKind, rc RunConfig) (*OptSummary, error) {
+	apps := []Application{FMSeeding, HashSeeding, KmerCounting, PreAlignment}
+	var perfs, energies, before, after []float64
+	for _, app := range apps {
+		sp := speciesFor(app)[0]
+		steps := ladderFor(app, kind)
+		first, last := steps[0], steps[len(steps)-1]
+		runStep := func(st ladderStep) (*Report, error) {
+			flow := MultiPass
+			if app == KmerCounting && st.Flow == SinglePass {
+				flow = SinglePass
+			}
+			wl, err := rc.buildWorkload(app, sp, flow)
+			if err != nil {
+				return nil, err
+			}
+			return Simulate(Platform{Kind: kind, Opts: st.Opts}, wl)
+		}
+		v, err := runStep(first)
+		if err != nil {
+			return nil, err
+		}
+		f, err := runStep(last)
+		if err != nil {
+			return nil, err
+		}
+		perfs = append(perfs, v.Seconds/f.Seconds)
+		energies = append(energies, v.EnergyPJ/f.EnergyPJ)
+		before = append(before, v.CommEnergyRatio())
+		after = append(after, f.CommEnergyRatio())
+	}
+	return &OptSummary{
+		Kind:       kind,
+		PerfGain:   stats.MustGeoMean(perfs),
+		EnergyGain: stats.MustGeoMean(energies),
+		CommBefore: stats.Mean(before),
+		CommAfter:  stats.Mean(after),
+	}, nil
+}
+
+// String renders the summary.
+func (s *OptSummary) String() string {
+	return fmt.Sprintf("%s optimizations: %s perf, %s energy; communication energy %s -> %s",
+		s.Kind, report.FormatRatio(s.PerfGain), report.FormatRatio(s.EnergyGain),
+		report.FormatPercent(s.CommBefore), report.FormatPercent(s.CommAfter))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

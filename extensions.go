@@ -1,0 +1,119 @@
+package beacon
+
+import (
+	"fmt"
+
+	"beacon/internal/extend"
+)
+
+// The paper's §V extension: BEACON as a general memory-bound-application
+// accelerator, with the genomics PEs swapped for other fixed-function units.
+// Two of the named targets are implemented: graph processing (BFS over a
+// CSR graph) and database searching (B+-tree index probes).
+
+// GraphWorkloadConfig parameterizes the BFS extension workload.
+type GraphWorkloadConfig struct {
+	// Vertices and AvgDegree shape the synthetic graph.
+	Vertices, AvgDegree int
+	// Root is the BFS start vertex.
+	Root int
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultGraphWorkloadConfig returns a laptop-scale graph.
+func DefaultGraphWorkloadConfig() GraphWorkloadConfig {
+	return GraphWorkloadConfig{Vertices: 20000, AvgDegree: 8, Seed: 0x9A4F}
+}
+
+// NewGraphWorkload builds and verifies the BFS extension workload.
+func NewGraphWorkload(cfg GraphWorkloadConfig) (*Workload, error) {
+	g, err := extend.NewGraph(extend.GraphConfig{
+		Vertices: cfg.Vertices, AvgDegree: cfg.AvgDegree, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	levels, tr, err := extend.BFSWorkload(g, cfg.Root, "graph-bfs")
+	if err != nil {
+		return nil, err
+	}
+	if err := extend.VerifyBFS(g, cfg.Root, levels); err != nil {
+		return nil, fmt.Errorf("beacon: functional verification failed: %w", err)
+	}
+	w := wrap("graph-bfs", GraphProcessing, tr, true)
+	return w, nil
+}
+
+// DBSearchWorkloadConfig parameterizes the index-probe extension workload.
+type DBSearchWorkloadConfig struct {
+	// Keys and Fanout shape the B+-tree (node size = Fanout x 8 bytes).
+	Keys, Fanout int
+	// Queries is the probe count (half hits, half misses).
+	Queries int
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultDBSearchWorkloadConfig returns a 64 K-key index with 64 B nodes.
+func DefaultDBSearchWorkloadConfig() DBSearchWorkloadConfig {
+	return DBSearchWorkloadConfig{Keys: 1 << 16, Fanout: 8, Queries: 5000, Seed: 0xDB5EA}
+}
+
+// NewDBSearchWorkload builds and verifies the index-probe workload.
+func NewDBSearchWorkload(cfg DBSearchWorkloadConfig) (*Workload, error) {
+	tree, err := extend.NewBTree(extend.BTreeConfig{Keys: cfg.Keys, Fanout: cfg.Fanout, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	found, tr, err := tree.ProbeWorkload(cfg.Queries, cfg.Seed^0x51ED, "db-search")
+	if err != nil {
+		return nil, err
+	}
+	// Half the probes target known-present keys; a broken walk would miss
+	// them.
+	if found < cfg.Queries/2 {
+		return nil, fmt.Errorf("beacon: functional verification failed: %d/%d probes found", found, cfg.Queries)
+	}
+	return wrap("db-search", DatabaseSearch, tr, true), nil
+}
+
+// ImageWorkloadConfig parameterizes the stencil-convolution extension
+// workload (the §V "image processing" target).
+type ImageWorkloadConfig struct {
+	// Width and Height shape the synthetic image.
+	Width, Height int
+	// TileSize is the per-task output tile edge.
+	TileSize int
+	// Sobel selects the edge detector instead of the Gaussian blur.
+	Sobel bool
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultImageWorkloadConfig returns a 1 MP image in 32x32 tiles.
+func DefaultImageWorkloadConfig() ImageWorkloadConfig {
+	return ImageWorkloadConfig{Width: 1024, Height: 1024, TileSize: 32, Seed: 0x1336}
+}
+
+// NewImageWorkload builds and verifies the convolution workload.
+func NewImageWorkload(cfg ImageWorkloadConfig) (*Workload, error) {
+	img, err := extend.NewImage(cfg.Width, cfg.Height, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := extend.GaussianKernel()
+	name := "image-gaussian"
+	if cfg.Sobel {
+		k = extend.SobelXKernel()
+		name = "image-sobel"
+	}
+	out, tr, err := extend.ConvolveWorkload(img, k, cfg.TileSize, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := extend.VerifyConvolution(img, k, out); err != nil {
+		return nil, fmt.Errorf("beacon: functional verification failed: %w", err)
+	}
+	return wrap(name, ImageProcessing, tr, true), nil
+}

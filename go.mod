@@ -1,0 +1,3 @@
+module beacon
+
+go 1.22

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beacon/internal/sim"
+	"beacon/internal/trace"
+)
+
+// randomWorkload mirrors the core fuzzer: every byte stream maps to a
+// structurally valid workload.
+func randomWorkload(data []byte) *trace.Workload {
+	rng := sim.NewRNG(0xDD77)
+	next := func() byte {
+		if len(data) == 0 {
+			return byte(rng.Uint64())
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	wl := &trace.Workload{Name: "fuzz", Passes: 1}
+	for sp := trace.Space(0); sp < trace.NumSpaces; sp++ {
+		wl.SpaceBytes[sp] = 4096 + uint64(next())*256
+		wl.LocalSpaces[sp] = next()%4 == 0
+	}
+	nTasks := 1 + int(next())%16
+	for t := 0; t < nTasks; t++ {
+		task := trace.Task{Engine: trace.Engine(next()) % trace.NumEngines}
+		nSteps := 1 + int(next())%10
+		for s := 0; s < nSteps; s++ {
+			space := trace.Space(next()) % trace.NumSpaces
+			size := uint32(next())%256 + 1
+			maxAddr := wl.SpaceBytes[space] - uint64(size)
+			task.Steps = append(task.Steps, trace.Step{
+				Op:      trace.Op(next()) % 3,
+				Space:   space,
+				Addr:    (uint64(next())*uint64(next()) + uint64(next())) % (maxAddr + 1),
+				Size:    size,
+				Spatial: next()%2 == 0,
+				Light:   next()%3 == 0,
+			})
+		}
+		wl.Tasks = append(wl.Tasks, task)
+	}
+	return wl
+}
+
+// The DDR machine must satisfy the same invariants as the BEACON machines
+// for every structurally valid workload.
+func TestDDRMachineInvariantsUnderFuzz(t *testing.T) {
+	f := func(data []byte, ideal bool) bool {
+		wl := randomWorkload(data)
+		if wl.Validate() != nil {
+			return false
+		}
+		cfg := DefaultDDRConfig()
+		cfg.IdealComm = ideal
+		run := func() *Result {
+			res, err := RunDDR(cfg, wl)
+			if err != nil {
+				t.Logf("run error: %v", err)
+				return nil
+			}
+			return res
+		}
+		a := run()
+		if a == nil || a.Tasks != len(wl.Tasks) || a.Steps != wl.TotalSteps() || a.Cycles <= 0 {
+			return false
+		}
+		b := run()
+		return b != nil && b.Cycles == a.Cycles && b.ChannelBytes == a.ChannelBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The CPU model is linear in the workload: doubling a task list doubles the
+// modeled time exactly.
+func TestCPULinearityProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		wl := randomWorkload(data)
+		doubled := &trace.Workload{Name: "x2", Passes: 1, SpaceBytes: wl.SpaceBytes}
+		doubled.Tasks = append(append([]trace.Task{}, wl.Tasks...), wl.Tasks...)
+		a, err := RunCPU(DefaultCPUConfig(), wl)
+		if err != nil {
+			return false
+		}
+		b, err := RunCPU(DefaultCPUConfig(), doubled)
+		if err != nil {
+			return false
+		}
+		ratio := b.Seconds / a.Seconds
+		return ratio > 1.999 && ratio < 2.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package dram
+
+import (
+	"fmt"
+
+	"beacon/internal/sim"
+)
+
+// AccessMode selects how chips within a rank serve a request (Fig. 11).
+type AccessMode uint8
+
+// Access modes.
+const (
+	// ModeLockstep reads all chips of the rank together — the conventional
+	// DIMM: every burst delivers RankBurstBytes whether useful or not.
+	ModeLockstep AccessMode = iota
+	// ModePerChip addresses one chip at a time (MEDAL-style individual chip
+	// select): no useless data, but a fine-grained request occupies one chip
+	// for many bursts while its 15 siblings idle unless other requests
+	// target them.
+	ModePerChip
+	// ModeCoalesced reads a group of chips together (BEACON's multi-chip
+	// coalescing): the group size is tuned so one request's useful bytes
+	// fill exactly one group burst.
+	ModeCoalesced
+)
+
+// String names the mode.
+func (m AccessMode) String() string {
+	switch m {
+	case ModeLockstep:
+		return "lockstep"
+	case ModePerChip:
+		return "per-chip"
+	case ModeCoalesced:
+		return "coalesced"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Loc pinpoints a request inside a DIMM after address mapping.
+type Loc struct {
+	// Rank within the DIMM.
+	Rank int
+	// Chip is the first chip serving the request (ModePerChip/ModeCoalesced;
+	// ignored for lock-step).
+	Chip int
+	// Bank is the flat bank index within a chip (group*BanksPerGroup+bank).
+	Bank int
+	// Row is the DRAM row.
+	Row int64
+}
+
+// Stats aggregates a DIMM's activity counters.
+type Stats struct {
+	Reads, Writes     uint64
+	RowHits           uint64
+	RowMisses         uint64 // activation on an idle (precharged) bank
+	RowConflicts      uint64 // activation requiring a precharge first
+	Activations       uint64
+	Refreshes         uint64
+	FAWStalls         uint64
+	BurstsIssued      uint64
+	UsefulBytes       uint64
+	TransferredBytes  uint64 // includes useless lock-step bytes
+	PerChipAccesses   []uint64
+	BusyCyclesByChips sim.Cycles
+}
+
+// DIMM is one simulated module. All methods are single-goroutine, in keeping
+// with the deterministic event kernel.
+type DIMM struct {
+	cfg  Config
+	name string
+	// chips[rank][chip] is the per-chip data-bus calendar.
+	chips [][]*sim.Resource
+	// bank state per (rank, chip, bank): because chips may be addressed
+	// individually, each chip's banks track their own open row. In lock-step
+	// or coalesced mode the participating chips advance together (their rows
+	// always match because requests address them together).
+	openRow  [][][]int64 // -1 = precharged
+	bankRes  [][][]*sim.Resource
+	stats    Stats
+	coalesce int // group size for ModeCoalesced
+	// lastRefresh[rank][chip][bank] is the index of the last refresh window
+	// the bank has paid for (lazy refresh accounting).
+	lastRefresh [][][]int64
+	// actTimes[rank][chip] is a ring of the last 4 activation start times
+	// per chip, enforcing tFAW.
+	actTimes [][][4]sim.Cycle
+	actIdx   [][]int
+}
+
+// NewDIMM builds a DIMM; coalesce is the multi-chip-coalescing group size
+// (chips per group) used by ModeCoalesced accesses.
+func NewDIMM(name string, cfg Config, coalesce int) (*DIMM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if coalesce <= 0 || coalesce > cfg.ChipsPerRank || cfg.ChipsPerRank%coalesce != 0 {
+		return nil, fmt.Errorf("dram: coalesce group %d must divide chips per rank %d",
+			coalesce, cfg.ChipsPerRank)
+	}
+	d := &DIMM{cfg: cfg, name: name, coalesce: coalesce}
+	banks := cfg.Banks()
+	d.chips = make([][]*sim.Resource, cfg.Ranks)
+	d.openRow = make([][][]int64, cfg.Ranks)
+	d.bankRes = make([][][]*sim.Resource, cfg.Ranks)
+	d.lastRefresh = make([][][]int64, cfg.Ranks)
+	d.actTimes = make([][][4]sim.Cycle, cfg.Ranks)
+	d.actIdx = make([][]int, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		d.chips[r] = make([]*sim.Resource, cfg.ChipsPerRank)
+		d.openRow[r] = make([][]int64, cfg.ChipsPerRank)
+		d.bankRes[r] = make([][]*sim.Resource, cfg.ChipsPerRank)
+		d.lastRefresh[r] = make([][]int64, cfg.ChipsPerRank)
+		d.actTimes[r] = make([][4]sim.Cycle, cfg.ChipsPerRank)
+		d.actIdx[r] = make([]int, cfg.ChipsPerRank)
+		for ch := range d.actTimes[r] {
+			for i := range d.actTimes[r][ch] {
+				// Far past, so the first four activations are unthrottled.
+				d.actTimes[r][ch][i] = -sim.Cycle(1) << 40
+			}
+		}
+		for ch := 0; ch < cfg.ChipsPerRank; ch++ {
+			d.chips[r][ch] = sim.NewResource(fmt.Sprintf("%s/r%d/c%d", name, r, ch), 1)
+			d.openRow[r][ch] = make([]int64, banks)
+			d.bankRes[r][ch] = make([]*sim.Resource, banks)
+			d.lastRefresh[r][ch] = make([]int64, banks)
+			for b := 0; b < banks; b++ {
+				d.openRow[r][ch][b] = -1
+				d.bankRes[r][ch][b] = sim.NewResource(fmt.Sprintf("%s/r%d/c%d/b%d", name, r, ch, b), 1)
+			}
+		}
+	}
+	d.stats.PerChipAccesses = make([]uint64, cfg.ChipsPerRank)
+	return d, nil
+}
+
+// Name returns the DIMM's diagnostic name.
+func (d *DIMM) Name() string { return d.name }
+
+// Config returns the DIMM configuration.
+func (d *DIMM) Config() Config { return d.cfg }
+
+// CoalesceGroup returns the configured multi-chip-coalescing group size.
+func (d *DIMM) CoalesceGroup() int { return d.coalesce }
+
+// Stats returns a copy of the activity counters.
+func (d *DIMM) Stats() Stats {
+	s := d.stats
+	s.PerChipAccesses = append([]uint64(nil), d.stats.PerChipAccesses...)
+	return s
+}
+
+// Access serves one request of `bytes` useful bytes at time now and returns
+// the completion time. The caller (the memory controller / address mapper)
+// has already resolved loc and chosen the mode.
+func (d *DIMM) Access(now sim.Cycle, loc Loc, bytes int, write bool, mode AccessMode) (sim.Cycle, error) {
+	if bytes <= 0 {
+		return 0, fmt.Errorf("dram: %s: non-positive access size %d", d.name, bytes)
+	}
+	if loc.Rank < 0 || loc.Rank >= d.cfg.Ranks {
+		return 0, fmt.Errorf("dram: %s: rank %d out of range", d.name, loc.Rank)
+	}
+	if loc.Bank < 0 || loc.Bank >= d.cfg.Banks() {
+		return 0, fmt.Errorf("dram: %s: bank %d out of range", d.name, loc.Bank)
+	}
+	if loc.Row < 0 {
+		return 0, fmt.Errorf("dram: %s: negative row", d.name)
+	}
+
+	// Resolve the chip set serving this request.
+	var first, width int
+	switch mode {
+	case ModeLockstep:
+		first, width = 0, d.cfg.ChipsPerRank
+	case ModePerChip:
+		first, width = loc.Chip, 1
+	case ModeCoalesced:
+		first, width = loc.Chip-loc.Chip%d.coalesce, d.coalesce
+	default:
+		return 0, fmt.Errorf("dram: %s: unknown access mode %d", d.name, mode)
+	}
+	if first < 0 || first+width > d.cfg.ChipsPerRank {
+		return 0, fmt.Errorf("dram: %s: chip %d (+%d) out of range", d.name, first, width)
+	}
+
+	// Bank timing on the leading chip decides the row state; all chips in
+	// the set advance together.
+	lead := d.bankRes[loc.Rank][first][loc.Bank]
+	open := d.openRow[loc.Rank][first][loc.Bank]
+	prep := 0
+	activates := false
+	switch {
+	case open == loc.Row:
+		d.stats.RowHits++
+	case open < 0:
+		prep = d.cfg.TRCD
+		d.stats.RowMisses++
+		d.stats.Activations++
+		activates = true
+	default:
+		prep = d.cfg.TRP + d.cfg.TRCD
+		d.stats.RowConflicts++
+		d.stats.Activations++
+		activates = true
+	}
+	nextRow := loc.Row
+	if d.cfg.ClosedPage {
+		// Auto-precharge: the bank returns to idle after the access.
+		nextRow = -1
+	}
+	for ch := first; ch < first+width; ch++ {
+		d.openRow[loc.Rank][ch][loc.Bank] = nextRow
+	}
+
+	// Lazy refresh accounting: if a refresh window elapsed since the bank
+	// last paid one, charge tRFC now (the auto-refresh blocked the bank at
+	// some point during the window).
+	if d.cfg.TREFI > 0 {
+		window := int64(now) / int64(d.cfg.TREFI)
+		if paid := d.lastRefresh[loc.Rank][first][loc.Bank]; window > paid {
+			prep += d.cfg.TRFC
+			d.lastRefresh[loc.Rank][first][loc.Bank] = window
+			d.stats.Refreshes++
+		}
+	}
+
+	// Bursts needed to move the useful bytes through `width` chips.
+	perBurst := width * d.cfg.ChipIOBytes
+	bursts := (bytes + perBurst - 1) / perBurst
+	occupancy := sim.Cycles(prep + bursts*d.cfg.TBL)
+
+	// tFAW: at most four activations per chip per rolling window. The
+	// leading chip's history gates the whole set (they activate together).
+	earliest := now
+	if activates && d.cfg.TFAW > 0 {
+		idx := d.actIdx[loc.Rank][first]
+		oldest := d.actTimes[loc.Rank][first][idx]
+		if lim := oldest + sim.Cycles(d.cfg.TFAW); lim > earliest {
+			earliest = lim
+			d.stats.FAWStalls++
+		}
+	}
+
+	// The bank is busy for the whole operation; the chip data buses are busy
+	// for the burst portion. Reserve the bank first (it gates issue), then
+	// the chips from the bank-ready time.
+	start, bankEnd := lead.Acquire(earliest, occupancy)
+	if activates && d.cfg.TFAW > 0 {
+		idx := d.actIdx[loc.Rank][first]
+		d.actTimes[loc.Rank][first][idx] = start
+		d.actIdx[loc.Rank][first] = (idx + 1) % 4
+	}
+	burstStart := start + sim.Cycles(prep)
+	var end sim.Cycle = bankEnd
+	for ch := first; ch < first+width; ch++ {
+		_, chEnd := d.chips[loc.Rank][ch].Acquire(burstStart, sim.Cycles(bursts*d.cfg.TBL))
+		if chEnd > end {
+			end = chEnd
+		}
+		d.stats.PerChipAccesses[ch] += uint64(bursts)
+	}
+	// Data is available TCL after the column command completes issue; fold
+	// CAS latency into the completion time.
+	done := end + sim.Cycles(d.cfg.TCL)
+
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.stats.BurstsIssued += uint64(bursts)
+	d.stats.UsefulBytes += uint64(bytes)
+	d.stats.TransferredBytes += uint64(bursts * perBurst)
+	return done, nil
+}
+
+// ChipImbalance returns the coefficient of variation (stddev/mean) of
+// per-chip burst counts — Fig. 13's balance metric. It returns 0 when the
+// DIMM is untouched.
+func (d *DIMM) ChipImbalance() float64 {
+	var sum float64
+	for _, c := range d.stats.PerChipAccesses {
+		sum += float64(c)
+	}
+	n := float64(len(d.stats.PerChipAccesses))
+	if sum == 0 {
+		return 0
+	}
+	mean := sum / n
+	var varsum float64
+	for _, c := range d.stats.PerChipAccesses {
+		dlt := float64(c) - mean
+		varsum += dlt * dlt
+	}
+	return sqrt(varsum/n) / mean
+}
+
+// sqrt avoids importing math for one call site (keeps the package's
+// dependency footprint to sim only).
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

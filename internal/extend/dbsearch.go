@@ -1,0 +1,168 @@
+package extend
+
+import (
+	"fmt"
+	"sort"
+
+	"beacon/internal/sim"
+	"beacon/internal/trace"
+)
+
+// Database index searching, the paper's second §V extension target (it
+// cites "Meet the Walkers", the in-memory-database index-traversal
+// accelerator). A B+-tree probe is a short chain of dependent fine-grained
+// reads — one node per level — which is exactly the access pattern the
+// BEACON fabric serves well and a host CPU serves poorly.
+
+// BTree is an immutable array-packed B+-tree over uint64 keys.
+type BTree struct {
+	// levels[0] is the root level; levels[len-1] the leaves. Each level is
+	// a sorted slice of separator keys (internal) or keys (leaf).
+	levels [][]uint64
+	// fanout is the child count per internal node.
+	fanout int
+	keys   []uint64 // sorted leaf keys (the data)
+}
+
+// BTreeConfig parameterizes tree construction.
+type BTreeConfig struct {
+	// Keys is the number of keys.
+	Keys int
+	// Fanout is children per internal node (node size = Fanout*8 bytes).
+	Fanout int
+	// Seed drives key generation.
+	Seed uint64
+}
+
+// DefaultBTreeConfig returns a cache-hostile index: 64-byte nodes.
+func DefaultBTreeConfig() BTreeConfig {
+	return BTreeConfig{Keys: 1 << 16, Fanout: 8, Seed: 0xDB5EA}
+}
+
+// NewBTree builds the tree over random distinct-ish keys.
+func NewBTree(cfg BTreeConfig) (*BTree, error) {
+	if cfg.Keys <= 0 {
+		return nil, fmt.Errorf("extend: key count must be positive, got %d", cfg.Keys)
+	}
+	if cfg.Fanout < 2 {
+		return nil, fmt.Errorf("extend: fanout must be >= 2, got %d", cfg.Fanout)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	keys := make([]uint64, cfg.Keys)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+
+	t := &BTree{fanout: cfg.Fanout, keys: keys}
+	// Build levels bottom-up: each upper level holds every Fanout-th key of
+	// the level below (its first key as separator).
+	level := keys
+	t.levels = [][]uint64{level}
+	for len(level) > cfg.Fanout {
+		var up []uint64
+		for i := 0; i < len(level); i += cfg.Fanout {
+			up = append(up, level[i])
+		}
+		level = up
+		t.levels = append([][]uint64{level}, t.levels...)
+	}
+	return t, nil
+}
+
+// Depth returns the number of levels (root..leaf).
+func (t *BTree) Depth() int { return len(t.levels) }
+
+// Lookup returns whether key exists, with the per-level slot indices the
+// walk visited (for trace emission).
+func (t *BTree) Lookup(key uint64) (bool, []int) {
+	slots := make([]int, 0, len(t.levels))
+	lo := 0
+	for li, level := range t.levels {
+		// Children of slot s at this level occupy [s*fanout, (s+1)*fanout)
+		// below; search within the current node's key range.
+		hi := lo + t.fanout
+		if hi > len(level) {
+			hi = len(level)
+		}
+		// Find the rightmost slot with level[slot] <= key.
+		slot := lo
+		for i := lo; i < hi && level[i] <= key; i++ {
+			slot = i
+		}
+		if level[lo] > key {
+			slot = lo
+		}
+		slots = append(slots, slot)
+		if li == len(t.levels)-1 {
+			return level[slot] == key, slots
+		}
+		lo = slot * t.fanout
+	}
+	return false, slots
+}
+
+// nodeBytes is the simulated size of one B+-tree node (fanout x 8 B keys).
+func (t *BTree) nodeBytes() int { return t.fanout * 8 }
+
+// ProbeWorkload runs `queries` lookups (half present keys, half random) and
+// emits the workload: one task per probe, one fine-grained node read per
+// level (the root is cached in the PE). The level arrays reuse SpaceOcc
+// (fine-grained random reads), concatenated level by level.
+func (t *BTree) ProbeWorkload(queries int, seed uint64, name string) (found int, wl *trace.Workload, err error) {
+	if queries <= 0 {
+		return 0, nil, fmt.Errorf("extend: query count must be positive, got %d", queries)
+	}
+	rng := sim.NewRNG(seed)
+	// Level base offsets within the index space.
+	bases := make([]uint64, len(t.levels))
+	var total uint64
+	for i, level := range t.levels {
+		bases[i] = total
+		total += uint64(len(level)) * 8
+	}
+	wl = &trace.Workload{Name: name, Passes: 1}
+	wl.SpaceBytes[trace.SpaceOcc] = total + uint64(t.nodeBytes())
+
+	for q := 0; q < queries; q++ {
+		var key uint64
+		if q%2 == 0 {
+			key = t.keys[rng.Intn(len(t.keys))]
+		} else {
+			key = rng.Uint64()
+		}
+		ok, slots := t.Lookup(key)
+		if ok {
+			found++
+		}
+		task := trace.Task{Engine: trace.EngineDB}
+		for li, slot := range slots {
+			if li == 0 {
+				continue // root node lives in the PE's scratch registers
+			}
+			nodeStart := uint64(slot/t.fanout) * uint64(t.nodeBytes())
+			task.Steps = append(task.Steps, trace.Step{
+				Op: trace.OpRead, Space: trace.SpaceOcc,
+				Addr: bases[li] + nodeStart, Size: uint32(t.nodeBytes()),
+			})
+		}
+		if len(task.Steps) == 0 {
+			// Degenerate single-level tree: still charge one leaf read.
+			task.Steps = append(task.Steps, trace.Step{
+				Op: trace.OpRead, Space: trace.SpaceOcc, Addr: 0, Size: uint32(t.nodeBytes()),
+			})
+		}
+		wl.Tasks = append(wl.Tasks, task)
+	}
+	if err := wl.Validate(); err != nil {
+		return 0, nil, err
+	}
+	return found, wl, nil
+}
+
+// Contains is the reference membership test (binary search over the sorted
+// keys), used to verify Lookup.
+func (t *BTree) Contains(key uint64) bool {
+	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= key })
+	return i < len(t.keys) && t.keys[i] == key
+}

@@ -1,0 +1,185 @@
+package extend
+
+import (
+	"fmt"
+
+	"beacon/internal/sim"
+	"beacon/internal/trace"
+)
+
+// Image processing, the paper's third §V extension target (it cites iPIM,
+// the near-bank image processor). A stencil convolution over a tiled image
+// is the canonical kernel: per output tile the PE streams the tile plus its
+// halo (spatially local reads) and writes the result — bandwidth-heavy,
+// compute-light, and embarrassingly parallel across tiles.
+
+// Image is a grayscale image stored row-major, one byte per pixel.
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewImage builds a deterministic synthetic image (smooth gradients plus
+// noise, so convolution results are non-trivial).
+func NewImage(w, h int, seed uint64) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("extend: image size %dx%d invalid", w, h)
+	}
+	rng := sim.NewRNG(seed)
+	img := &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := (x*255/w + y*255/h) / 2
+			v += int(rng.Uint64() % 32)
+			if v > 255 {
+				v = 255
+			}
+			img.Pix[y*w+x] = uint8(v)
+		}
+	}
+	return img, nil
+}
+
+// At returns the pixel with clamp-to-edge semantics.
+func (im *Image) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Kernel3 is a 3x3 integer convolution kernel with a divisor.
+type Kernel3 struct {
+	K   [3][3]int
+	Div int
+}
+
+// GaussianKernel returns the standard 3x3 blur.
+func GaussianKernel() Kernel3 {
+	return Kernel3{K: [3][3]int{{1, 2, 1}, {2, 4, 2}, {1, 2, 1}}, Div: 16}
+}
+
+// SobelXKernel returns the horizontal Sobel edge detector (Div 1, clamped).
+func SobelXKernel() Kernel3 {
+	return Kernel3{K: [3][3]int{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}, Div: 1}
+}
+
+// Convolve applies the kernel with clamp-to-edge borders, returning a new
+// image. This is the reference implementation used to produce and verify
+// the trace.
+func (im *Image) Convolve(k Kernel3) *Image {
+	out := &Image{W: im.W, H: im.H, Pix: make([]uint8, im.W*im.H)}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sum := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					sum += int(im.At(x+dx, y+dy)) * k.K[dy+1][dx+1]
+				}
+			}
+			if k.Div != 0 {
+				sum /= k.Div
+			}
+			if sum < 0 {
+				sum = 0
+			}
+			if sum > 255 {
+				sum = 255
+			}
+			out.Pix[y*im.W+x] = uint8(sum)
+		}
+	}
+	return out
+}
+
+// ConvolveWorkload runs the convolution and emits the workload trace: one
+// task per tileSize x tileSize output tile. Each task streams the tile rows
+// plus halo from the input image (SpaceReference reused, spatial) and
+// writes the output tile (SpaceReads reused as the output buffer, spatial
+// writes). It returns the output image for verification.
+func ConvolveWorkload(im *Image, k Kernel3, tileSize int, name string) (*Image, *trace.Workload, error) {
+	if tileSize <= 0 {
+		return nil, nil, fmt.Errorf("extend: tile size must be positive, got %d", tileSize)
+	}
+	out := im.Convolve(k)
+
+	wl := &trace.Workload{Name: name, Passes: 1}
+	wl.SpaceBytes[trace.SpaceReference] = uint64(im.W*im.H) + 64
+	wl.SpaceBytes[trace.SpaceReads] = uint64(im.W*im.H) + 64
+
+	for ty := 0; ty < im.H; ty += tileSize {
+		for tx := 0; tx < im.W; tx += tileSize {
+			th := min2(tileSize, im.H-ty)
+			tw := min2(tileSize, im.W-tx)
+			task := trace.Task{Engine: trace.EngineGraph} // simple integer engine
+			// Input rows with one-pixel halo; each row is one spatial read.
+			for y := ty - 1; y <= ty+th; y++ {
+				ry := clamp(y, 0, im.H-1)
+				rx := clamp(tx-1, 0, im.W-1)
+				width := tw + 2
+				if rx+width > im.W {
+					width = im.W - rx
+				}
+				task.Steps = append(task.Steps, trace.Step{
+					Op: trace.OpRead, Space: trace.SpaceReference,
+					Addr: uint64(ry*im.W + rx), Size: uint32(width),
+					Spatial: true, Light: y > ty-1,
+				})
+			}
+			// Output rows.
+			for y := ty; y < ty+th; y++ {
+				task.Steps = append(task.Steps, trace.Step{
+					Op: trace.OpWrite, Space: trace.SpaceReads,
+					Addr: uint64(y*im.W + tx), Size: uint32(tw),
+					Spatial: true, Light: true,
+				})
+			}
+			wl.Tasks = append(wl.Tasks, task)
+		}
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return out, wl, nil
+}
+
+// VerifyConvolution checks a convolution output against an independent
+// recomputation.
+func VerifyConvolution(in *Image, k Kernel3, got *Image) error {
+	if got.W != in.W || got.H != in.H {
+		return fmt.Errorf("extend: output %dx%d != input %dx%d", got.W, got.H, in.W, in.H)
+	}
+	want := in.Convolve(k)
+	for i := range want.Pix {
+		if want.Pix[i] != got.Pix[i] {
+			return fmt.Errorf("extend: pixel %d = %d, want %d", i, got.Pix[i], want.Pix[i])
+		}
+	}
+	return nil
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+package fmindex
+
+import (
+	"fmt"
+
+	"beacon/internal/genome"
+	"beacon/internal/trace"
+)
+
+// Maximal-exact-match (MEM) seeding: instead of cutting the read into
+// fixed-stride seeds, walk the read right-to-left, backward-extending each
+// match until the suffix-array interval empties, emit the maximal match,
+// and resume left of its start. This is the greedy MEM scheme BWA-family
+// seeders build on, and it is the natural workload for an FM-index engine:
+// seed lengths adapt to the data (long in unique sequence, short in
+// repeats), changing both the hit distribution and the Occ traffic shape.
+
+// MEM is one maximal exact match of a read against the reference.
+type MEM struct {
+	// ReadStart and ReadEnd delimit the match within the read ([start,end)).
+	ReadStart, ReadEnd int
+	// Hits are reference positions (up to the configured maximum).
+	Hits []int32
+	// Width is the suffix-array interval width (total occurrence count).
+	Width int32
+}
+
+// MEMConfig parameterizes MEM seeding.
+type MEMConfig struct {
+	// MinLen discards matches shorter than this (noise in repeats).
+	MinLen int
+	// MaxHits bounds located positions per MEM.
+	MaxHits int
+}
+
+// DefaultMEMConfig mirrors BWA-MEM's default minimum seed length.
+func DefaultMEMConfig() MEMConfig {
+	return MEMConfig{MinLen: 19, MaxHits: 8}
+}
+
+// FindMEMs returns the greedy maximal exact matches of the read, rightmost
+// first, without trace emission (the functional core).
+func (x *Index) FindMEMs(read *genome.Sequence, cfg MEMConfig) []MEM {
+	var out []MEM
+	end := read.Len()
+	for end > 0 {
+		iv := x.Full()
+		start := end
+		lastNonEmpty := iv
+		for start > 0 {
+			next := x.Extend(lastNonEmpty, read.At(start-1))
+			if next.Empty() {
+				break
+			}
+			lastNonEmpty = next
+			start--
+		}
+		if end-start >= cfg.MinLen && lastNonEmpty != x.Full() {
+			m := MEM{ReadStart: start, ReadEnd: end, Width: lastNonEmpty.Width()}
+			m.Hits = x.Locate(lastNonEmpty, cfg.MaxHits)
+			out = append(out, m)
+		}
+		if start == end {
+			// No extension possible at all (cannot happen with a non-empty
+			// alphabet match, but guard against zero-progress loops).
+			end--
+		} else {
+			// Resume left of the maximal match's start.
+			end = start
+		}
+	}
+	return out
+}
+
+// SeedReadsMEM runs MEM seeding over the reads, emitting the workload trace
+// with the same access-shape conventions as SeedReads: one task per MEM
+// search chain, one per locate walk.
+func SeedReadsMEM(idx *Index, reads []genome.Read, cfg MEMConfig, name string) ([][]MEM, *trace.Workload, error) {
+	if cfg.MinLen <= 0 {
+		return nil, nil, fmt.Errorf("fmindex: MEM min length must be positive, got %d", cfg.MinLen)
+	}
+	if cfg.MaxHits <= 0 {
+		return nil, nil, fmt.Errorf("fmindex: MEM max hits must be positive, got %d", cfg.MaxHits)
+	}
+	results := make([][]MEM, len(reads))
+	wl := &trace.Workload{Name: name, Passes: 1}
+	wl.SpaceBytes[trace.SpaceOcc] = idx.OccBytes()
+	wl.SpaceBytes[trace.SpaceSuffixArray] = idx.SABytes()
+	wl.SpaceBytes[trace.SpaceReads] = uint64(totalReadBytes(reads))
+
+	var readOff uint64
+	for ri := range reads {
+		read := reads[ri].Seq
+		rb := uint32((read.Len() + 3) / 4)
+		end := read.Len()
+		for end > 0 {
+			task := trace.Task{Engine: trace.EngineFMIndex}
+			task.Steps = append(task.Steps, trace.Step{
+				Op: trace.OpRead, Space: trace.SpaceReads,
+				Addr: readOff, Size: rb, Spatial: true, Light: true,
+			})
+			iv := idx.Full()
+			start := end
+			lastNonEmpty := iv
+			for start > 0 {
+				if lastNonEmpty != idx.Full() {
+					emitOccAccesses(&task, lastNonEmpty)
+				}
+				next := idx.Extend(lastNonEmpty, read.At(start-1))
+				if next.Empty() {
+					break
+				}
+				lastNonEmpty = next
+				start--
+			}
+			wl.Tasks = append(wl.Tasks, task)
+			if end-start >= cfg.MinLen && lastNonEmpty != idx.Full() {
+				m := MEM{ReadStart: start, ReadEnd: end, Width: lastNonEmpty.Width()}
+				hits := 0
+				for r := lastNonEmpty.Lo; r < lastNonEmpty.Hi && hits < cfg.MaxHits; r++ {
+					locate := trace.Task{Engine: trace.EngineFMIndex}
+					pos, steps := idx.locateOne(r)
+					cur := r
+					for s := 0; s < steps; s++ {
+						locate.Steps = append(locate.Steps, trace.Step{
+							Op: trace.OpRead, Space: trace.SpaceOcc,
+							Addr: uint64(BlockIndex(cur)) * BlockBytes, Size: BlockBytes,
+						})
+						sym := idx.bwtAt(cur)
+						if sym == 0 {
+							break
+						}
+						cur = idx.LF(genome.Base(sym-1), cur)
+					}
+					locate.Steps = append(locate.Steps, trace.Step{
+						Op: trace.OpRead, Space: trace.SpaceSuffixArray,
+						Addr: saEntryAddr(idx, pos, steps), Size: 4, Light: true,
+					})
+					wl.Tasks = append(wl.Tasks, locate)
+					m.Hits = append(m.Hits, pos)
+					hits++
+				}
+				results[ri] = append(results[ri], m)
+			}
+			if start == end {
+				end--
+			} else {
+				end = start
+			}
+		}
+		readOff += uint64(rb)
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return results, wl, nil
+}
+
+// VerifyMEMs checks every MEM: the matched substring occurs at each hit and
+// the match is right-maximal and left-maximal (extending it in either
+// direction leaves the reference or mismatches at every hit... maximality is
+// verified against the index: extending by one base must empty the
+// interval or hit the read boundary).
+func VerifyMEMs(idx *Index, ref *genome.Sequence, reads []genome.Read, cfg MEMConfig, results [][]MEM) error {
+	if len(results) != len(reads) {
+		return fmt.Errorf("fmindex: %d results for %d reads", len(results), len(reads))
+	}
+	for ri, mems := range results {
+		read := reads[ri].Seq
+		for _, m := range mems {
+			if m.ReadStart < 0 || m.ReadEnd > read.Len() || m.ReadEnd-m.ReadStart < cfg.MinLen {
+				return fmt.Errorf("fmindex: read %d: MEM [%d,%d) malformed", ri, m.ReadStart, m.ReadEnd)
+			}
+			sub := read.Slice(m.ReadStart, m.ReadEnd)
+			for _, h := range m.Hits {
+				if int(h)+sub.Len() > ref.Len() {
+					return fmt.Errorf("fmindex: read %d: hit %d out of range", ri, h)
+				}
+				for j := 0; j < sub.Len(); j++ {
+					if sub.At(j) != ref.At(int(h)+j) {
+						return fmt.Errorf("fmindex: read %d: MEM mismatch at ref %d+%d", ri, h, j)
+					}
+				}
+			}
+			// Left-maximality: extending one more base left must fail (or be
+			// at the read start).
+			if m.ReadStart > 0 {
+				ext := read.Slice(m.ReadStart-1, m.ReadEnd)
+				if idx.Count(ext) > 0 {
+					return fmt.Errorf("fmindex: read %d: MEM [%d,%d) not left-maximal", ri, m.ReadStart, m.ReadEnd)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package fmindex
+
+import (
+	"testing"
+
+	"beacon/internal/genome"
+)
+
+func memFixture(t *testing.T) (*genome.Sequence, *Index, []genome.Read) {
+	t.Helper()
+	ref, err := genome.Synthesize(genome.DefaultSyntheticConfig(40000, 61))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	idx, err := Build(ref)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rc := genome.DefaultReadConfig(40, 17)
+	reads, err := genome.SampleReads(ref, rc)
+	if err != nil {
+		t.Fatalf("SampleReads: %v", err)
+	}
+	return ref, idx, reads
+}
+
+func TestFindMEMsAreMaximalAndCorrect(t *testing.T) {
+	ref, idx, reads := memFixture(t)
+	cfg := DefaultMEMConfig()
+	results := make([][]MEM, len(reads))
+	for i := range reads {
+		results[i] = idx.FindMEMs(reads[i].Seq, cfg)
+	}
+	if err := VerifyMEMs(idx, ref, reads, cfg, results); err != nil {
+		t.Fatalf("VerifyMEMs: %v", err)
+	}
+	total := 0
+	for _, ms := range results {
+		total += len(ms)
+	}
+	if total == 0 {
+		t.Fatal("no MEMs found")
+	}
+}
+
+func TestFindMEMsExactReadIsOneMatch(t *testing.T) {
+	ref, idx, _ := memFixture(t)
+	// A verbatim slice of a (unique) region should yield a single MEM
+	// covering the whole read.
+	read := ref.Slice(1234, 1334)
+	mems := idx.FindMEMs(read, DefaultMEMConfig())
+	if len(mems) == 0 {
+		t.Fatal("no MEMs for an exact read")
+	}
+	m := mems[0]
+	if m.ReadStart != 0 || m.ReadEnd != read.Len() {
+		t.Errorf("exact read MEM = [%d,%d), want [0,%d)", m.ReadStart, m.ReadEnd, read.Len())
+	}
+}
+
+func TestFindMEMsSplitAtErrors(t *testing.T) {
+	ref, idx, _ := memFixture(t)
+	read := ref.Slice(5000, 5100)
+	// Plant one substitution mid-read; MEMs must not span it.
+	mid := 50
+	old := read.At(mid)
+	read.Set(mid, genome.Base((int(old)+1)%4))
+	mems := idx.FindMEMs(read, DefaultMEMConfig())
+	for _, m := range mems {
+		if m.ReadStart <= mid && mid < m.ReadEnd {
+			// Only acceptable if that mutated string genuinely occurs.
+			if idx.Count(read.Slice(m.ReadStart, m.ReadEnd)) == 0 {
+				t.Errorf("MEM [%d,%d) spans the planted mismatch at %d", m.ReadStart, m.ReadEnd, mid)
+			}
+		}
+	}
+	if len(mems) < 2 {
+		t.Logf("note: only %d MEMs; repeat content may absorb the split", len(mems))
+	}
+}
+
+func TestSeedReadsMEMWorkload(t *testing.T) {
+	ref, idx, reads := memFixture(t)
+	cfg := DefaultMEMConfig()
+	results, wl, err := SeedReadsMEM(idx, reads, cfg, "mem")
+	if err != nil {
+		t.Fatalf("SeedReadsMEM: %v", err)
+	}
+	if err := VerifyMEMs(idx, ref, reads, cfg, results); err != nil {
+		t.Fatalf("VerifyMEMs: %v", err)
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The trace-emitting and functional paths must agree.
+	for i := range reads {
+		direct := idx.FindMEMs(reads[i].Seq, cfg)
+		if len(direct) != len(results[i]) {
+			t.Fatalf("read %d: trace path found %d MEMs, functional %d",
+				i, len(results[i]), len(direct))
+		}
+		for j := range direct {
+			if direct[j].ReadStart != results[i][j].ReadStart ||
+				direct[j].ReadEnd != results[i][j].ReadEnd {
+				t.Fatalf("read %d MEM %d: [%d,%d) vs [%d,%d)", i, j,
+					direct[j].ReadStart, direct[j].ReadEnd,
+					results[i][j].ReadStart, results[i][j].ReadEnd)
+			}
+		}
+	}
+}
+
+func TestSeedReadsMEMValidation(t *testing.T) {
+	_, idx, reads := memFixture(t)
+	if _, _, err := SeedReadsMEM(idx, reads, MEMConfig{MinLen: 0, MaxHits: 1}, "x"); err == nil {
+		t.Error("zero min length accepted")
+	}
+	if _, _, err := SeedReadsMEM(idx, reads, MEMConfig{MinLen: 10, MaxHits: 0}, "x"); err == nil {
+		t.Error("zero max hits accepted")
+	}
+}
+
+func TestMEMAdaptiveSeedLengths(t *testing.T) {
+	// MEM seeds in unique sequence should be much longer than MinLen.
+	ref, idx, _ := memFixture(t)
+	read := ref.Slice(9000, 9100)
+	mems := idx.FindMEMs(read, DefaultMEMConfig())
+	longest := 0
+	for _, m := range mems {
+		if l := m.ReadEnd - m.ReadStart; l > longest {
+			longest = l
+		}
+	}
+	if longest < 30 {
+		t.Errorf("longest MEM = %d bases; expected long matches in unique sequence", longest)
+	}
+}

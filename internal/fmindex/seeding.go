@@ -1,0 +1,192 @@
+package fmindex
+
+import (
+	"fmt"
+
+	"beacon/internal/genome"
+	"beacon/internal/trace"
+)
+
+// SeedingConfig parameterizes FM-index based DNA seeding (the BWA-MEM-style
+// workload accelerated by MEDAL and BEACON's FM-index engine).
+type SeedingConfig struct {
+	// SeedLen is the seed length; each read is cut into non-overlapping
+	// seeds of this length, each backward-searched to exactness.
+	SeedLen int
+	// MaxHits bounds the candidate locations resolved per seed.
+	MaxHits int
+}
+
+// DefaultSeedingConfig mirrors common short-read seeding parameters.
+func DefaultSeedingConfig() SeedingConfig {
+	return SeedingConfig{SeedLen: 20, MaxHits: 8}
+}
+
+// SeedHit is one resolved seed occurrence, kept for functional verification.
+type SeedHit struct {
+	// ReadOffset is the seed's offset within the read.
+	ReadOffset int
+	// RefPos is the occurrence position in the reference.
+	RefPos int32
+}
+
+// SeedingResult carries the functional output for one read.
+type SeedingResult struct {
+	Hits []SeedHit
+}
+
+// SeedReads runs FM-index seeding over the reads, returning both the
+// functional results and the memory-trace workload for the timing phase.
+//
+// Task granularity follows MEDAL: every seed search is its own task, and
+// every locate walk is its own task. The search chain is inherently
+// sequential (each backward-extension step needs the previous interval),
+// but different seeds of a read — and every locate of every hit — proceed
+// in parallel on different PEs, which is exactly how the accelerator's task
+// scheduler extracts memory-level parallelism.
+//
+// Per backward-extension step the accelerator fetches the 32 B Occ block(s)
+// for the interval's Lo and Hi bounds (one access if both land in the same
+// block); per locate step it walks LF (one block access per step) and
+// finally reads a sampled-SA entry.
+func SeedReads(idx *Index, reads []genome.Read, cfg SeedingConfig, name string) ([]SeedingResult, *trace.Workload, error) {
+	if cfg.SeedLen <= 0 {
+		return nil, nil, fmt.Errorf("fmindex: seed length must be positive, got %d", cfg.SeedLen)
+	}
+	if cfg.MaxHits <= 0 {
+		return nil, nil, fmt.Errorf("fmindex: max hits must be positive, got %d", cfg.MaxHits)
+	}
+	results := make([]SeedingResult, len(reads))
+	wl := &trace.Workload{Name: name, Passes: 1}
+	wl.SpaceBytes[trace.SpaceOcc] = idx.OccBytes()
+	wl.SpaceBytes[trace.SpaceSuffixArray] = idx.SABytes()
+	wl.SpaceBytes[trace.SpaceReads] = uint64(totalReadBytes(reads))
+
+	var readOff uint64
+	for ri := range reads {
+		read := reads[ri].Seq
+		rb := uint32((read.Len() + 3) / 4)
+
+		for off := 0; off+cfg.SeedLen <= read.Len(); off += cfg.SeedLen {
+			task := trace.Task{Engine: trace.EngineFMIndex}
+			// The seed's slice of the read streams in from the read buffer.
+			task.Steps = append(task.Steps, trace.Step{
+				Op: trace.OpRead, Space: trace.SpaceReads,
+				Addr: readOff + uint64(off/4), Size: (uint32(cfg.SeedLen) + 3) / 4,
+				Spatial: true, Light: true,
+			})
+			iv := idx.Full()
+			for i := off + cfg.SeedLen - 1; i >= off; i-- {
+				b := read.At(i)
+				// The first extension needs occ(b, 0) = 0 and occ(b, n) =
+				// count(b): both come from the C array, which lives in PE
+				// registers (it is five integers) — no memory access. Every
+				// later step fetches the interval bounds' Occ blocks.
+				if iv != idx.Full() {
+					emitOccAccesses(&task, iv)
+				}
+				iv = idx.Extend(iv, b)
+				if iv.Empty() {
+					break
+				}
+			}
+			wl.Tasks = append(wl.Tasks, task)
+			if iv.Empty() {
+				continue
+			}
+			// Locate up to MaxHits occurrences, one task per walk.
+			hits := 0
+			for r := iv.Lo; r < iv.Hi && hits < cfg.MaxHits; r++ {
+				locate := trace.Task{Engine: trace.EngineFMIndex}
+				pos, steps := idx.locateOne(r)
+				cur := r
+				for s := 0; s < steps; s++ {
+					locate.Steps = append(locate.Steps, trace.Step{
+						Op: trace.OpRead, Space: trace.SpaceOcc,
+						Addr: uint64(BlockIndex(cur)) * BlockBytes, Size: BlockBytes,
+					})
+					sym := idx.bwtAt(cur)
+					if sym == 0 {
+						break
+					}
+					cur = idx.LF(genome.Base(sym-1), cur)
+				}
+				locate.Steps = append(locate.Steps, trace.Step{
+					Op: trace.OpRead, Space: trace.SpaceSuffixArray,
+					Addr: saEntryAddr(idx, pos, steps), Size: 4, Light: true,
+				})
+				wl.Tasks = append(wl.Tasks, locate)
+				results[ri].Hits = append(results[ri].Hits, SeedHit{ReadOffset: off, RefPos: pos})
+				hits++
+			}
+		}
+		readOff += uint64(rb)
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return results, wl, nil
+}
+
+// emitOccAccesses appends the Occ block fetches for one extension step.
+func emitOccAccesses(task *trace.Task, iv Interval) {
+	loBlk := BlockIndex(iv.Lo)
+	hiBlk := BlockIndex(iv.Hi)
+	task.Steps = append(task.Steps, trace.Step{
+		Op: trace.OpRead, Space: trace.SpaceOcc,
+		Addr: uint64(loBlk) * BlockBytes, Size: BlockBytes,
+	})
+	if hiBlk != loBlk {
+		// Same extension, second interval bound: pipeline continuation.
+		task.Steps = append(task.Steps, trace.Step{
+			Op: trace.OpRead, Space: trace.SpaceOcc,
+			Addr: uint64(hiBlk) * BlockBytes, Size: BlockBytes, Light: true,
+		})
+	}
+}
+
+// saEntryAddr returns the byte address of the sampled-SA entry the locate
+// walk resolved: the sample at text position pos-steps (position-indexed
+// sampling, 4 B entries).
+func saEntryAddr(idx *Index, pos int32, steps int) uint64 {
+	base := pos - int32(steps)
+	if base < 0 {
+		base = 0
+	}
+	return uint64(base/int32(idx.saSample)) * 4
+}
+
+func totalReadBytes(reads []genome.Read) int {
+	n := 0
+	for i := range reads {
+		n += (reads[i].Seq.Len() + 3) / 4
+	}
+	return n
+}
+
+// VerifySeeding checks every reported hit against the reference: the seed
+// substring must occur verbatim at the reported position. It is used by
+// integration tests and the examples to demonstrate functional correctness.
+func VerifySeeding(ref *genome.Sequence, reads []genome.Read, cfg SeedingConfig, results []SeedingResult) error {
+	if len(results) != len(reads) {
+		return fmt.Errorf("fmindex: %d results for %d reads", len(results), len(reads))
+	}
+	for ri, res := range results {
+		read := reads[ri].Seq
+		for _, h := range res.Hits {
+			if h.ReadOffset < 0 || h.ReadOffset+cfg.SeedLen > read.Len() {
+				return fmt.Errorf("fmindex: read %d: hit offset %d out of range", ri, h.ReadOffset)
+			}
+			if h.RefPos < 0 || int(h.RefPos)+cfg.SeedLen > ref.Len() {
+				return fmt.Errorf("fmindex: read %d: ref pos %d out of range", ri, h.RefPos)
+			}
+			for j := 0; j < cfg.SeedLen; j++ {
+				if read.At(h.ReadOffset+j) != ref.At(int(h.RefPos)+j) {
+					return fmt.Errorf("fmindex: read %d: seed at %d does not match reference at %d",
+						ri, h.ReadOffset, h.RefPos)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package fmindex
+
+import (
+	"testing"
+
+	"beacon/internal/genome"
+	"beacon/internal/trace"
+)
+
+func seedingFixture(t *testing.T, genomeLen, nReads int) (*genome.Sequence, *Index, []genome.Read) {
+	t.Helper()
+	ref, err := genome.Synthesize(genome.DefaultSyntheticConfig(genomeLen, 21))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	idx, err := Build(ref)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cfg := genome.DefaultReadConfig(nReads, 5)
+	reads, err := genome.SampleReads(ref, cfg)
+	if err != nil {
+		t.Fatalf("SampleReads: %v", err)
+	}
+	return ref, idx, reads
+}
+
+func TestSeedReadsHitsAreVerbatim(t *testing.T) {
+	ref, idx, reads := seedingFixture(t, 20000, 50)
+	cfg := DefaultSeedingConfig()
+	results, wl, err := SeedReads(idx, reads, cfg, "test")
+	if err != nil {
+		t.Fatalf("SeedReads: %v", err)
+	}
+	if err := VerifySeeding(ref, reads, cfg, results); err != nil {
+		t.Fatalf("VerifySeeding: %v", err)
+	}
+	// One task per seed search plus one per locate walk: at least the seed
+	// count, bounded by seeds + seeds*MaxHits.
+	seedsPerRead := 100 / cfg.SeedLen
+	minTasks := len(reads) * seedsPerRead
+	maxTasks := minTasks * (1 + cfg.MaxHits)
+	if len(wl.Tasks) < minTasks || len(wl.Tasks) > maxTasks {
+		t.Errorf("tasks = %d, want in [%d, %d]", len(wl.Tasks), minTasks, maxTasks)
+	}
+	if wl.TotalSteps() == 0 {
+		t.Error("workload has no steps")
+	}
+}
+
+func TestSeedReadsFindsErrorFreeReads(t *testing.T) {
+	// With no sequencing errors, every forward-strand read must yield at
+	// least one hit per seed window (the sampled origin guarantees it).
+	ref, err := genome.Synthesize(genome.DefaultSyntheticConfig(30000, 77))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	idx, err := Build(ref)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rcfg := genome.DefaultReadConfig(40, 9)
+	rcfg.ErrorRate = 0
+	rcfg.ReverseFraction = 0
+	reads, err := genome.SampleReads(ref, rcfg)
+	if err != nil {
+		t.Fatalf("SampleReads: %v", err)
+	}
+	cfg := DefaultSeedingConfig()
+	results, _, err := SeedReads(idx, reads, cfg, "exact")
+	if err != nil {
+		t.Fatalf("SeedReads: %v", err)
+	}
+	for ri, res := range results {
+		if len(res.Hits) == 0 {
+			t.Errorf("read %d: no hits despite exact sampling", ri)
+			continue
+		}
+		// The true origin must be among the hits for at least one seed.
+		found := false
+		for _, h := range res.Hits {
+			if int(h.RefPos) == reads[ri].Origin+h.ReadOffset {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// The true position can be crowded out by MaxHits in repeats;
+			// only fail when the seed is unique enough.
+			seed := reads[ri].Seq.Slice(0, cfg.SeedLen)
+			if idx.Count(seed) <= cfg.MaxHits {
+				t.Errorf("read %d: true origin %d not among hits", ri, reads[ri].Origin)
+			}
+		}
+	}
+}
+
+func TestSeedingWorkloadShape(t *testing.T) {
+	_, idx, reads := seedingFixture(t, 20000, 20)
+	cfg := DefaultSeedingConfig()
+	_, wl, err := SeedReads(idx, reads, cfg, "shape")
+	if err != nil {
+		t.Fatalf("SeedReads: %v", err)
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	occ, sa, rd := 0, 0, 0
+	for _, task := range wl.Tasks {
+		if task.Engine != trace.EngineFMIndex {
+			t.Fatalf("engine = %v, want fm-index", task.Engine)
+		}
+		if len(task.Steps) == 0 {
+			t.Fatal("empty task")
+		}
+		for _, s := range task.Steps {
+			switch s.Space {
+			case trace.SpaceOcc:
+				occ++
+				if s.Size != BlockBytes {
+					t.Fatalf("occ access size %d, want %d", s.Size, BlockBytes)
+				}
+				if s.Addr%BlockBytes != 0 {
+					t.Fatalf("occ access addr %d not block aligned", s.Addr)
+				}
+			case trace.SpaceSuffixArray:
+				sa++
+			case trace.SpaceReads:
+				rd++
+			default:
+				t.Fatalf("unexpected space %v", s.Space)
+			}
+		}
+	}
+	// One read-buffer access per seed-search task (5 seeds per 100 bp read).
+	if occ == 0 || sa == 0 || rd != len(reads)*(100/cfg.SeedLen) {
+		t.Errorf("access mix occ=%d sa=%d reads=%d", occ, sa, rd)
+	}
+	// FM seeding is dominated by fine-grained Occ traffic.
+	if occ < 10*sa/2 {
+		t.Errorf("occ=%d should dominate sa=%d", occ, sa)
+	}
+}
+
+func TestSeedReadsValidation(t *testing.T) {
+	_, idx, reads := seedingFixture(t, 5000, 2)
+	if _, _, err := SeedReads(idx, reads, SeedingConfig{SeedLen: 0, MaxHits: 1}, "x"); err == nil {
+		t.Error("expected error for zero seed length")
+	}
+	if _, _, err := SeedReads(idx, reads, SeedingConfig{SeedLen: 10, MaxHits: 0}, "x"); err == nil {
+		t.Error("expected error for zero max hits")
+	}
+}
+
+func TestVerifySeedingCatchesCorruption(t *testing.T) {
+	ref, idx, reads := seedingFixture(t, 10000, 10)
+	cfg := DefaultSeedingConfig()
+	results, _, err := SeedReads(idx, reads, cfg, "v")
+	if err != nil {
+		t.Fatalf("SeedReads: %v", err)
+	}
+	// Corrupt one hit and expect detection.
+	corrupted := false
+	for ri := range results {
+		if len(results[ri].Hits) > 0 {
+			// Move the hit somewhere almost certainly wrong.
+			results[ri].Hits[0].RefPos = (results[ri].Hits[0].RefPos + 1) % int32(ref.Len()-cfg.SeedLen)
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Skip("no hits to corrupt")
+	}
+	if err := VerifySeeding(ref, reads, cfg, results); err == nil {
+		t.Error("VerifySeeding accepted a corrupted hit")
+	}
+}

@@ -1,0 +1,96 @@
+package genome
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FASTA support: the interchange format for reference genomes and reads.
+// The simulator ships synthetic genomes, but a downstream user pointing the
+// library at real data needs a loader, and the examples need a way to dump
+// the synthetic references for inspection with standard tools.
+
+// FastaRecord is one sequence with its header line (without the '>').
+type FastaRecord struct {
+	Name string
+	Seq  *Sequence
+}
+
+// ReadFasta parses FASTA records from r. Characters outside ACGTacgt are
+// rejected (the simulator's 2-bit pipeline has no ambiguity codes; callers
+// with N-containing data should split or mask first).
+func ReadFasta(r io.Reader) ([]FastaRecord, error) {
+	var out []FastaRecord
+	var name string
+	var body strings.Builder
+	sawHeader := false
+
+	flush := func() error {
+		if !sawHeader {
+			return nil
+		}
+		seq, err := FromString(body.String())
+		if err != nil {
+			return fmt.Errorf("genome: record %q: %w", name, err)
+		}
+		out = append(out, FastaRecord{Name: name, Seq: seq})
+		body.Reset()
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			name = strings.TrimSpace(line[1:])
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("genome: line %d: sequence data before first FASTA header", lineNo)
+		}
+		body.WriteString(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("genome: reading FASTA: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("genome: no FASTA records found")
+	}
+	return out, nil
+}
+
+// WriteFasta writes records to w with 70-column sequence lines.
+func WriteFasta(w io.Writer, records []FastaRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		s := rec.Seq.String()
+		for i := 0; i < len(s); i += 70 {
+			end := i + 70
+			if end > len(s) {
+				end = len(s)
+			}
+			if _, err := fmt.Fprintln(bw, s[i:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

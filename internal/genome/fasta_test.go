@@ -1,0 +1,81 @@
+package genome
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFastaRoundTrip(t *testing.T) {
+	g1, _ := Synthesize(DefaultSyntheticConfig(250, 1))
+	g2, _ := Synthesize(DefaultSyntheticConfig(71, 2))
+	recs := []FastaRecord{
+		{Name: "chr1 synthetic", Seq: g1},
+		{Name: "chr2", Seq: g2},
+	}
+	var buf strings.Builder
+	if err := WriteFasta(&buf, recs); err != nil {
+		t.Fatalf("WriteFasta: %v", err)
+	}
+	got, err := ReadFasta(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadFasta: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range recs {
+		if got[i].Name != recs[i].Name {
+			t.Errorf("name %d = %q, want %q", i, got[i].Name, recs[i].Name)
+		}
+		if !got[i].Seq.Equal(recs[i].Seq) {
+			t.Errorf("sequence %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteFastaWraps(t *testing.T) {
+	g, _ := Synthesize(DefaultSyntheticConfig(150, 3))
+	var buf strings.Builder
+	if err := WriteFasta(&buf, []FastaRecord{{Name: "x", Seq: g}}); err != nil {
+		t.Fatalf("WriteFasta: %v", err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if len(line) > 70 {
+			t.Errorf("line %d is %d chars", i, len(line))
+		}
+	}
+}
+
+func TestReadFastaHandlesFormats(t *testing.T) {
+	// Mixed case, blank lines, whitespace.
+	in := ">  seq one  \nACGT\n\nacgt\n>two\nTTTT\n"
+	recs, err := ReadFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadFasta: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Name != "seq one" || recs[0].Seq.String() != "ACGTACGT" {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestReadFastaRejects(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"ACGT\n",         // data before header
+		">x\nACGN\n",     // ambiguity code
+		">only header\n", // no body -> empty sequence parses as len 0... still a record
+	}
+	for i, in := range cases[:3] {
+		if _, err := ReadFasta(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Header with empty body yields an empty sequence record (tolerated).
+	recs, err := ReadFasta(strings.NewReader(">empty\n"))
+	if err != nil {
+		t.Fatalf("empty-body record rejected: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Seq.Len() != 0 {
+		t.Errorf("empty-body record = %+v", recs)
+	}
+}

@@ -1,0 +1,114 @@
+package genome
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FASTQ support: sequencing reads arrive as FASTQ (sequence + per-base
+// quality). The simulator's error model generates its own reads, but a
+// downstream user feeding real reads needs the loader, and the examples can
+// dump sampled reads for inspection.
+
+// FastqRecord is one read with its quality string (PHRED+33).
+type FastqRecord struct {
+	Name    string
+	Seq     *Sequence
+	Quality string
+}
+
+// ReadFastq parses FASTQ records from r. Records must be the standard
+// four-line form; qualities must match the sequence length.
+func ReadFastq(r io.Reader) ([]FastqRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []FastqRecord
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	for {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(hdr, "@") {
+			return nil, fmt.Errorf("genome: line %d: FASTQ header must start with '@', got %q", line, hdr)
+		}
+		seqLine, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("genome: line %d: truncated FASTQ record %q", line, hdr)
+		}
+		plus, ok := next()
+		if !ok || !strings.HasPrefix(plus, "+") {
+			return nil, fmt.Errorf("genome: line %d: expected '+' separator in record %q", line, hdr)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("genome: line %d: missing quality line in record %q", line, hdr)
+		}
+		if len(qual) != len(seqLine) {
+			return nil, fmt.Errorf("genome: record %q: quality length %d != sequence length %d",
+				hdr, len(qual), len(seqLine))
+		}
+		seq, err := FromString(seqLine)
+		if err != nil {
+			return nil, fmt.Errorf("genome: record %q: %w", hdr, err)
+		}
+		out = append(out, FastqRecord{Name: strings.TrimSpace(hdr[1:]), Seq: seq, Quality: qual})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("genome: reading FASTQ: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("genome: no FASTQ records found")
+	}
+	return out, nil
+}
+
+// WriteFastq writes records in four-line FASTQ form. Records without a
+// quality string get a uniform high quality ('I' = Q40).
+func WriteFastq(w io.Writer, records []FastqRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		q := rec.Quality
+		if q == "" {
+			q = strings.Repeat("I", rec.Seq.Len())
+		}
+		if len(q) != rec.Seq.Len() {
+			return fmt.Errorf("genome: record %q: quality length %d != sequence length %d",
+				rec.Name, len(q), rec.Seq.Len())
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq.String(), q); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadsToFastq converts sampled reads to FASTQ records, encoding the ground
+// truth (origin, strand, error count) in the read names so round trips keep
+// verifiability.
+func ReadsToFastq(reads []Read) []FastqRecord {
+	out := make([]FastqRecord, len(reads))
+	for i, r := range reads {
+		strand := "+"
+		if r.ReverseStrand {
+			strand = "-"
+		}
+		out[i] = FastqRecord{
+			Name: fmt.Sprintf("read%d pos=%d strand=%s errors=%d", i, r.Origin, strand, r.Errors),
+			Seq:  r.Seq,
+		}
+	}
+	return out
+}

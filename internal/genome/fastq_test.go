@@ -1,0 +1,76 @@
+package genome
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFastqRoundTrip(t *testing.T) {
+	ref, _ := Synthesize(DefaultSyntheticConfig(2000, 12))
+	reads, err := SampleReads(ref, DefaultReadConfig(5, 3))
+	if err != nil {
+		t.Fatalf("SampleReads: %v", err)
+	}
+	recs := ReadsToFastq(reads)
+	var buf strings.Builder
+	if err := WriteFastq(&buf, recs); err != nil {
+		t.Fatalf("WriteFastq: %v", err)
+	}
+	got, err := ReadFastq(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadFastq: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Name != recs[i].Name {
+			t.Errorf("name %d = %q, want %q", i, got[i].Name, recs[i].Name)
+		}
+		if !got[i].Seq.Equal(recs[i].Seq) {
+			t.Errorf("sequence %d mismatch", i)
+		}
+		if len(got[i].Quality) != got[i].Seq.Len() {
+			t.Errorf("record %d quality length mismatch", i)
+		}
+	}
+}
+
+func TestReadFastqRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"ACGT\n",                 // no header
+		"@x\nACGT\n",             // truncated
+		"@x\nACGT\nACGT\nIIII\n", // missing '+'
+		"@x\nACGT\n+\nII\n",      // quality length mismatch
+		"@x\nACGN\n+\nIIII\n",    // ambiguity code
+	}
+	for i, in := range cases {
+		if _, err := ReadFastq(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteFastqValidatesQuality(t *testing.T) {
+	seq := MustFromString("ACGT")
+	var buf strings.Builder
+	err := WriteFastq(&buf, []FastqRecord{{Name: "x", Seq: seq, Quality: "II"}})
+	if err == nil {
+		t.Error("mismatched quality accepted")
+	}
+}
+
+func TestReadsToFastqEncodesGroundTruth(t *testing.T) {
+	ref, _ := Synthesize(DefaultSyntheticConfig(500, 2))
+	reads, _ := SampleReads(ref, DefaultReadConfig(3, 9))
+	recs := ReadsToFastq(reads)
+	for i, rec := range recs {
+		if !strings.Contains(rec.Name, "pos=") || !strings.Contains(rec.Name, "strand=") {
+			t.Errorf("record %d name lacks ground truth: %q", i, rec.Name)
+		}
+		if !rec.Seq.Equal(reads[i].Seq) {
+			t.Errorf("record %d sequence mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package genome
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"beacon/internal/sim"
+)
+
+func TestSequenceRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "A", "ACGT", "TTTTTTTTT", "GATTACAGATTACA"} {
+		seq, err := FromString(s)
+		if err != nil {
+			t.Fatalf("FromString(%q): %v", s, err)
+		}
+		if got := seq.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if seq.Len() != len(s) {
+			t.Errorf("Len(%q) = %d", s, seq.Len())
+		}
+	}
+}
+
+func TestFromStringRejectsInvalid(t *testing.T) {
+	if _, err := FromString("ACGN"); err == nil {
+		t.Error("expected error for N")
+	}
+	if _, err := FromString("ACG T"); err == nil {
+		t.Error("expected error for space")
+	}
+}
+
+func TestSequenceLowercase(t *testing.T) {
+	seq, err := FromString("acgt")
+	if err != nil {
+		t.Fatalf("FromString: %v", err)
+	}
+	if seq.String() != "ACGT" {
+		t.Errorf("lowercase parse = %q", seq.String())
+	}
+}
+
+func TestSetAtAllOffsets(t *testing.T) {
+	// Exercise every packing offset within a byte.
+	seq := NewSequence(9)
+	bases := []Base{T, G, C, A, T, A, G, C, T}
+	for i, b := range bases {
+		seq.Set(i, b)
+	}
+	for i, b := range bases {
+		if seq.At(i) != b {
+			t.Errorf("At(%d) = %v, want %v", i, seq.At(i), b)
+		}
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	seq := MustFromString("AACGT")
+	rc := seq.ReverseComplement()
+	if got := rc.String(); got != "ACGTT" {
+		t.Errorf("rc = %q, want ACGTT", got)
+	}
+	// Involution.
+	if !rc.ReverseComplement().Equal(seq) {
+		t.Error("reverse complement is not an involution")
+	}
+}
+
+func TestReverseComplementInvolutionProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := NewSequence(len(raw))
+		for i, b := range raw {
+			seq.Set(i, Base(b&3))
+		}
+		return seq.ReverseComplement().ReverseComplement().Equal(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	seq := MustFromString("ACGTACGT")
+	sub := seq.Slice(2, 6)
+	if got := sub.String(); got != "GTAC" {
+		t.Errorf("slice = %q, want GTAC", got)
+	}
+	if got := seq.Slice(0, 0).Len(); got != 0 {
+		t.Errorf("empty slice len = %d", got)
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustFromString("ACGT").Slice(2, 10)
+}
+
+func TestPackedBytes(t *testing.T) {
+	if got := NewSequence(9).PackedBytes(); got != 3 {
+		t.Errorf("PackedBytes(9) = %d, want 3", got)
+	}
+	if got := NewSequence(8).PackedBytes(); got != 2 {
+		t.Errorf("PackedBytes(8) = %d, want 2", got)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := DefaultSyntheticConfig(5000, 99)
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !a.Equal(b) {
+		t.Error("same config produced different genomes")
+	}
+}
+
+func TestSynthesizeGCContent(t *testing.T) {
+	cfg := DefaultSyntheticConfig(200000, 3)
+	cfg.RepeatFraction = 0 // isolate the base composition
+	g, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	gc := 0
+	for i := 0; i < g.Len(); i++ {
+		if b := g.At(i); b == G || b == C {
+			gc++
+		}
+	}
+	frac := float64(gc) / float64(g.Len())
+	if frac < cfg.GCContent-0.02 || frac > cfg.GCContent+0.02 {
+		t.Errorf("GC fraction = %.3f, want ~%.2f", frac, cfg.GCContent)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(SyntheticConfig{Length: 0, GCContent: 0.4}); err == nil {
+		t.Error("expected error for zero length")
+	}
+	if _, err := Synthesize(SyntheticConfig{Length: 10, GCContent: 1.5}); err == nil {
+		t.Error("expected error for GC out of range")
+	}
+	if _, err := Synthesize(SyntheticConfig{Length: 10, GCContent: 0.4, RepeatFraction: -1}); err == nil {
+		t.Error("expected error for negative repeat fraction")
+	}
+}
+
+func TestSpeciesGenomeSizesScale(t *testing.T) {
+	pt, err := SpeciesGenome(PinusTaeda, 100)
+	if err != nil {
+		t.Fatalf("SpeciesGenome: %v", err)
+	}
+	nf, err := SpeciesGenome(NeoceratodusForsteri, 100)
+	if err != nil {
+		t.Fatalf("SpeciesGenome: %v", err)
+	}
+	if pt.Len() != 2200 || nf.Len() != 3400 {
+		t.Errorf("sizes Pt=%d Nf=%d, want 2200, 3400", pt.Len(), nf.Len())
+	}
+	if _, err := SpeciesGenome(Species(99), 10); err == nil {
+		t.Error("expected error for unknown species")
+	}
+	if _, err := SpeciesGenome(PinusTaeda, 0); err == nil {
+		t.Error("expected error for zero scale")
+	}
+}
+
+func TestSpeciesString(t *testing.T) {
+	want := []string{"Pt", "Pg", "Ss", "Am", "Nf"}
+	for i, sp := range SeedingSpecies() {
+		if sp.String() != want[i] {
+			t.Errorf("species %d = %q, want %q", i, sp.String(), want[i])
+		}
+	}
+	if !strings.Contains(Species(42).String(), "42") {
+		t.Error("out-of-range species should render numerically")
+	}
+}
+
+func TestSampleReadsGroundTruth(t *testing.T) {
+	ref, err := Synthesize(DefaultSyntheticConfig(10000, 5))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	cfg := DefaultReadConfig(200, 7)
+	cfg.ErrorRate = 0 // exact reads should match the reference verbatim
+	reads, err := SampleReads(ref, cfg)
+	if err != nil {
+		t.Fatalf("SampleReads: %v", err)
+	}
+	if len(reads) != 200 {
+		t.Fatalf("got %d reads, want 200", len(reads))
+	}
+	for i, r := range reads {
+		want := ref.Slice(r.Origin, r.Origin+cfg.Length)
+		got := r.Seq
+		if r.ReverseStrand {
+			got = got.ReverseComplement()
+		}
+		if !got.Equal(want) {
+			t.Fatalf("read %d does not match reference at origin %d", i, r.Origin)
+		}
+		if r.Errors != 0 {
+			t.Fatalf("read %d has %d errors with rate 0", i, r.Errors)
+		}
+	}
+}
+
+func TestSampleReadsErrorModel(t *testing.T) {
+	ref, _ := Synthesize(DefaultSyntheticConfig(5000, 5))
+	cfg := DefaultReadConfig(500, 11)
+	cfg.ErrorRate = 0.05
+	reads, err := SampleReads(ref, cfg)
+	if err != nil {
+		t.Fatalf("SampleReads: %v", err)
+	}
+	total := 0
+	for _, r := range reads {
+		total += r.Errors
+	}
+	// Expect ~0.05 * 100 * 500 = 2500 errors; allow wide tolerance.
+	if total < 1800 || total > 3200 {
+		t.Errorf("total injected errors = %d, want ~2500", total)
+	}
+}
+
+func TestSampleReadsValidation(t *testing.T) {
+	ref, _ := Synthesize(DefaultSyntheticConfig(50, 5))
+	if _, err := SampleReads(ref, ReadConfig{Count: 1, Length: 100}); err == nil {
+		t.Error("expected error for read longer than reference")
+	}
+	if _, err := SampleReads(ref, ReadConfig{Count: -1, Length: 10}); err == nil {
+		t.Error("expected error for negative count")
+	}
+	if _, err := SampleReads(ref, ReadConfig{Count: 1, Length: 0}); err == nil {
+		t.Error("expected error for zero length")
+	}
+	if _, err := SampleReads(ref, ReadConfig{Count: 1, Length: 10, ErrorRate: 2}); err == nil {
+		t.Error("expected error for error rate out of range")
+	}
+}
+
+func TestKmerPackUnpack(t *testing.T) {
+	seq := MustFromString("ACGTAC")
+	m := KmerAt(seq, 0, 4)
+	if got := m.String(4); got != "ACGT" {
+		t.Errorf("kmer = %q, want ACGT", got)
+	}
+	m2 := KmerAt(seq, 2, 4)
+	if got := m2.String(4); got != "GTAC" {
+		t.Errorf("kmer = %q, want GTAC", got)
+	}
+}
+
+func TestKmerReverseComplement(t *testing.T) {
+	seq := MustFromString("AACG")
+	m := KmerAt(seq, 0, 4)
+	rc := m.ReverseComplement(4)
+	if got := rc.String(4); got != "CGTT" {
+		t.Errorf("rc = %q, want CGTT", got)
+	}
+}
+
+func TestKmerCanonicalMatchesStrands(t *testing.T) {
+	// A k-mer and its reverse complement must canonicalize identically.
+	rng := sim.NewRNG(13)
+	for trial := 0; trial < 200; trial++ {
+		k := 3 + rng.Intn(29)
+		seq := NewSequence(k)
+		for i := 0; i < k; i++ {
+			seq.Set(i, Base(rng.Intn(4)))
+		}
+		m := KmerAt(seq, 0, k)
+		rc := m.ReverseComplement(k)
+		if m.Canonical(k) != rc.Canonical(k) {
+			t.Fatalf("canonical mismatch for %s (k=%d)", m.String(k), k)
+		}
+	}
+}
+
+func TestKmerAtPanics(t *testing.T) {
+	seq := MustFromString("ACGT")
+	for _, fn := range []func(){
+		func() { KmerAt(seq, 0, 33) },
+		func() { KmerAt(seq, 2, 4) },
+		func() { KmerAt(seq, -1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBaseComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, C: G, G: C, T: A}
+	for b, want := range pairs {
+		if b.Complement() != want {
+			t.Errorf("complement(%c) = %c, want %c", b.Char(), b.Complement().Char(), want.Char())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package genome
+
+import (
+	"fmt"
+
+	"beacon/internal/sim"
+)
+
+// Read is a sequencing read sampled from a reference, with ground truth
+// provenance retained so tests can verify mapping correctness.
+type Read struct {
+	// Seq is the read sequence (possibly mutated by the error model).
+	Seq *Sequence
+	// Origin is the 0-based reference position the read was sampled from.
+	Origin int
+	// ReverseStrand records whether the read came from the reverse strand.
+	ReverseStrand bool
+	// Errors is the number of substitution errors injected.
+	Errors int
+}
+
+// ReadConfig controls read sampling.
+type ReadConfig struct {
+	// Count is the number of reads to sample.
+	Count int
+	// Length is the read length in bases; the paper's workloads use
+	// short Illumina-style reads (we default to 100 bp).
+	Length int
+	// ErrorRate is the per-base substitution probability.
+	ErrorRate float64
+	// ReverseFraction is the fraction of reads sampled from the reverse
+	// strand.
+	ReverseFraction float64
+	// Seed drives the sampler.
+	Seed uint64
+}
+
+// DefaultReadConfig returns an Illumina-like configuration.
+func DefaultReadConfig(count int, seed uint64) ReadConfig {
+	return ReadConfig{Count: count, Length: 100, ErrorRate: 0.01, ReverseFraction: 0.5, Seed: seed}
+}
+
+// SampleReads draws reads from the reference with the given configuration.
+func SampleReads(ref *Sequence, cfg ReadConfig) ([]Read, error) {
+	if cfg.Count < 0 {
+		return nil, fmt.Errorf("genome: negative read count %d", cfg.Count)
+	}
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("genome: read length must be positive, got %d", cfg.Length)
+	}
+	if ref.Len() < cfg.Length {
+		return nil, fmt.Errorf("genome: reference (%d bp) shorter than read length (%d bp)", ref.Len(), cfg.Length)
+	}
+	if cfg.ErrorRate < 0 || cfg.ErrorRate >= 1 {
+		return nil, fmt.Errorf("genome: error rate %g out of [0,1)", cfg.ErrorRate)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	reads := make([]Read, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		pos := rng.Intn(ref.Len() - cfg.Length + 1)
+		seq := ref.Slice(pos, pos+cfg.Length)
+		rev := rng.Float64() < cfg.ReverseFraction
+		if rev {
+			seq = seq.ReverseComplement()
+		}
+		errs := 0
+		for j := 0; j < seq.Len(); j++ {
+			if rng.Float64() < cfg.ErrorRate {
+				// Substitute with a different base.
+				old := seq.At(j)
+				nb := Base(rng.Intn(3))
+				if nb >= old {
+					nb++
+				}
+				seq.Set(j, nb)
+				errs++
+			}
+		}
+		reads = append(reads, Read{Seq: seq, Origin: pos, ReverseStrand: rev, Errors: errs})
+	}
+	return reads, nil
+}
+
+// Kmer is a k-mer packed into a uint64 (2 bits per base, k <= 32).
+type Kmer uint64
+
+// KmerAt extracts the k-mer starting at position i. It panics if k > 32 or
+// the window exceeds the sequence.
+func KmerAt(s *Sequence, i, k int) Kmer {
+	if k <= 0 || k > 32 {
+		panic(fmt.Sprintf("genome: k=%d out of 1..32", k))
+	}
+	if i < 0 || i+k > s.Len() {
+		panic(fmt.Sprintf("genome: k-mer window [%d,%d) out of range 0..%d", i, i+k, s.Len()))
+	}
+	var v Kmer
+	for j := 0; j < k; j++ {
+		v = v<<2 | Kmer(s.At(i+j))
+	}
+	return v
+}
+
+// Canonical returns the lexicographically smaller of the k-mer and its
+// reverse complement — the standard normalization in k-mer counting, so a
+// k-mer and its opposite strand count as one.
+func (m Kmer) Canonical(k int) Kmer {
+	rc := m.ReverseComplement(k)
+	if rc < m {
+		return rc
+	}
+	return m
+}
+
+// ReverseComplement reverse-complements a packed k-mer of length k.
+func (m Kmer) ReverseComplement(k int) Kmer {
+	var rc Kmer
+	for j := 0; j < k; j++ {
+		rc = rc<<2 | (3 - (m & 3))
+		m >>= 2
+	}
+	return rc
+}
+
+// String renders the k-mer of length k as ACGT text.
+func (m Kmer) String(k int) string {
+	buf := make([]byte, k)
+	for j := k - 1; j >= 0; j-- {
+		buf[j] = Base(m & 3).Char()
+		m >>= 2
+	}
+	return string(buf)
+}

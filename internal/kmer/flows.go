@@ -1,0 +1,263 @@
+package kmer
+
+import (
+	"fmt"
+
+	"beacon/internal/genome"
+	"beacon/internal/trace"
+)
+
+// FlowResult is the output of a counting flow: functional counts plus the
+// memory-trace workload for the timing phase.
+type FlowResult struct {
+	// Counts is the reported k-mer table (see package comment for the
+	// approximation semantics; exact for every truly repeated k-mer).
+	Counts Counts
+	// Workload drives the timing simulators.
+	Workload *trace.Workload
+	// FilterBytes and TableBytes are the footprints of the Bloom filter and
+	// the exact counter table.
+	FilterBytes, TableBytes uint64
+}
+
+// kmerHash mixes a canonical k-mer for counter-table placement.
+func kmerHash(m genome.Kmer) uint64 {
+	z := uint64(m) * 0xD6E8FEB86659FD93
+	z ^= z >> 32
+	z *= 0xD6E8FEB86659FD93
+	z ^= z >> 32
+	return z
+}
+
+// filterGeometry sizes the Bloom filter for the input.
+func filterGeometry(reads []genome.Read, cfg Config) (instances uint64, counters uint64) {
+	for i := range reads {
+		if n := reads[i].Seq.Len() - cfg.K + 1; n > 0 {
+			instances += uint64(n)
+		}
+	}
+	counters = instances * uint64(cfg.CountersPerKmer)
+	if counters == 0 {
+		counters = 1
+	}
+	return instances, counters
+}
+
+// tableCapacity rounds the distinct-entry count up to a power of two with
+// 50% headroom, mimicking an open-addressed table.
+func tableCapacity(entries int) uint64 {
+	cap := uint64(1)
+	for cap < uint64(entries)*2 {
+		cap *= 2
+	}
+	return cap
+}
+
+// CountMultiPass runs the NEST-style multi-pass flow with `parts` local
+// filters (one per accelerator DIMM in NEST).
+//
+// Pass 1 streams every read and builds the local filters; the filters are
+// then merged into a global filter and redistributed (MergeBytes); pass 2
+// streams every read again, counting k-mers whose merged-filter estimate is
+// at least 2. Both passes appear explicitly in the emitted task list, so the
+// timing models see the doubled input traffic that BEACON-S's single-pass
+// optimization removes.
+func CountMultiPass(reads []genome.Read, cfg Config, parts int, name string) (*FlowResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if parts <= 0 {
+		return nil, fmt.Errorf("kmer: parts must be positive, got %d", parts)
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("kmer: no reads")
+	}
+	_, counters := filterGeometry(reads, cfg)
+	// Each part gets a full-size filter (NEST replicates the global filter).
+	locals := make([]*CountingBloom, parts)
+	for i := range locals {
+		f, err := NewCountingBloom(counters, cfg.Hashes)
+		if err != nil {
+			return nil, err
+		}
+		locals[i] = f
+	}
+
+	// Pass 1 (functional): build local filters, reads partitioned
+	// round-robin across parts.
+	k := cfg.K
+	for ri := range reads {
+		seq := reads[ri].Seq
+		f := locals[ri%parts]
+		for j := 0; j+k <= seq.Len(); j++ {
+			f.Add(uint64(genome.KmerAt(seq, j, k).Canonical(k)))
+		}
+	}
+	// Merge into the global filter.
+	global := locals[0]
+	for _, f := range locals[1:] {
+		if err := global.Merge(f); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2 (functional): exact counting of filter-passing k-mers.
+	table := Counts{}
+	for ri := range reads {
+		seq := reads[ri].Seq
+		for j := 0; j+k <= seq.Len(); j++ {
+			m := genome.KmerAt(seq, j, k).Canonical(k)
+			if global.Estimate(uint64(m)) >= 2 {
+				table[m]++
+			}
+		}
+	}
+
+	res := &FlowResult{Counts: table, FilterBytes: global.Bytes()}
+	res.TableBytes = tableCapacity(len(table)) * uint64(cfg.CounterEntryBytes)
+	wl, err := emitCountingTrace(reads, cfg, name, global, table, res, true)
+	if err != nil {
+		return nil, err
+	}
+	res.Workload = wl
+	return res, nil
+}
+
+// CountSinglePass runs the BEACON-S single-pass flow against one shared
+// filter: every k-mer occurrence performs atomic filter updates, and
+// occurrences whose pre-update estimate is already >= 1 also update the
+// shared counter table. Reported counts are table+1 (the first occurrence
+// lives only in the filter).
+func CountSinglePass(reads []genome.Read, cfg Config, name string) (*FlowResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("kmer: no reads")
+	}
+	_, counters := filterGeometry(reads, cfg)
+	filter, err := NewCountingBloom(counters, cfg.Hashes)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	raw := map[genome.Kmer]uint32{}
+	for ri := range reads {
+		seq := reads[ri].Seq
+		for j := 0; j+k <= seq.Len(); j++ {
+			m := genome.KmerAt(seq, j, k).Canonical(k)
+			if filter.Add(uint64(m)) >= 1 {
+				raw[m]++
+			}
+		}
+	}
+	table := Counts{}
+	for m, c := range raw {
+		table[m] = c + 1
+	}
+	res := &FlowResult{Counts: table, FilterBytes: filter.Bytes()}
+	res.TableBytes = tableCapacity(len(table)) * uint64(cfg.CounterEntryBytes)
+	wl, err := emitCountingTrace(reads, cfg, name, filter, table, res, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Workload = wl
+	return res, nil
+}
+
+// emitCountingTrace builds the workload trace for either flow. multiPass
+// selects the NEST two-pass shape (local filter spaces, explicit second
+// input pass, merge traffic); otherwise the single-pass shape (shared
+// spaces, atomic RMW everywhere).
+func emitCountingTrace(reads []genome.Read, cfg Config, name string,
+	filter *CountingBloom, table Counts, res *FlowResult, multiPass bool) (*trace.Workload, error) {
+
+	wl := &trace.Workload{Name: name, Passes: 1}
+	wl.SpaceBytes[trace.SpaceBloom] = res.FilterBytes
+	wl.SpaceBytes[trace.SpaceCounters] = res.TableBytes
+	var readBytes uint64
+	for i := range reads {
+		readBytes += uint64((reads[i].Seq.Len() + 3) / 4)
+	}
+	// +8: batch slices round up to byte boundaries past the packed buffer.
+	wl.SpaceBytes[trace.SpaceReads] = readBytes + 8
+	if multiPass {
+		wl.Passes = 2
+		wl.LocalSpaces[trace.SpaceBloom] = true
+		wl.LocalSpaces[trace.SpaceCounters] = true
+		// Local filters travel to the merge point and the merged filter is
+		// redistributed: two filter-sized transfers per participating node.
+		wl.MergeBytes = 2 * res.FilterBytes
+	}
+
+	k := cfg.K
+	tableSlots := res.TableBytes / uint64(cfg.CounterEntryBytes)
+	if tableSlots == 0 {
+		tableSlots = 1
+	}
+
+	emitPass := func(second bool) {
+		var readOff uint64
+		for ri := range reads {
+			seq := reads[ri].Seq
+			rb := uint32((seq.Len() + 3) / 4)
+			nk := seq.Len() - k + 1
+			var buf [8]uint64
+			// Batch KmersPerTask consecutive k-mers into one task; each
+			// batch streams its slice of the read, then probes the filter.
+			for base := 0; base < nk; base += cfg.KmersPerTask {
+				end := base + cfg.KmersPerTask
+				if end > nk {
+					end = nk
+				}
+				task := trace.Task{Engine: trace.EngineKMC}
+				sliceBytes := uint32((end-base+k-1)+3) / 4
+				task.Steps = append(task.Steps, trace.Step{
+					Op: trace.OpRead, Space: trace.SpaceReads,
+					Addr: readOff + uint64(base/4), Size: sliceBytes + 1, Spatial: true, Light: true,
+				})
+				for j := base; j < end; j++ {
+					m := genome.KmerAt(seq, j, k).Canonical(k)
+					op := trace.OpAtomicRMW // filter updates are increments
+					if second {
+						op = trace.OpRead // pass 2 only reads the filter
+					}
+					for hi, slot := range filter.slots(uint64(m), buf[:]) {
+						// The useful payload is a 4-bit counter; the trace
+						// models it as a 1-byte access ("1 bit for k-mer
+						// counting" in the paper's packing discussion). The
+						// KMC engine's 59-cycle hash computation is charged
+						// once per k-mer; the remaining slot probes are
+						// pipeline continuations.
+						task.Steps = append(task.Steps, trace.Step{
+							Op: op, Space: trace.SpaceBloom, Addr: slot / 2, Size: 1,
+							Light: hi > 0,
+						})
+					}
+					counted := false
+					if multiPass {
+						counted = second && filter.Estimate(uint64(m)) >= 2
+					} else {
+						_, counted = table[m]
+					}
+					if counted {
+						task.Steps = append(task.Steps, trace.Step{
+							Op: trace.OpAtomicRMW, Space: trace.SpaceCounters,
+							Addr: (kmerHash(m) % tableSlots) * uint64(cfg.CounterEntryBytes),
+							Size: uint32(cfg.CounterEntryBytes), Light: true,
+						})
+					}
+				}
+				wl.Tasks = append(wl.Tasks, task)
+			}
+			readOff += uint64(rb)
+		}
+	}
+	emitPass(false)
+	if multiPass {
+		emitPass(true)
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	return wl, nil
+}

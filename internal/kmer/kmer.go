@@ -1,0 +1,212 @@
+// Package kmer implements k-mer counting, the BFCounter/NEST workload
+// accelerated by BEACON's KMC engine: a counting Bloom filter screens out
+// singleton k-mers so that only repeated k-mers occupy the exact counter
+// table.
+//
+// Two flows are provided, matching §IV-D of the paper:
+//
+//   - Multi-pass (NEST): each processing element builds a local counting
+//     Bloom filter over the whole input (pass 1), the local filters are
+//     merged into a global filter and redistributed, and the input is
+//     processed a second time against the now-local filter (pass 2). Remote
+//     traffic is eliminated at the cost of reading the input twice.
+//   - Single-pass (BEACON-S): processing elements share one distributed
+//     filter and counter table, touching them with atomic RMW operations.
+//     The input is read once; filter traffic crosses the CXL fabric.
+//
+// Both flows produce identical counts — a property the tests verify — and
+// differ only in the memory traces they emit.
+package kmer
+
+import (
+	"fmt"
+
+	"beacon/internal/genome"
+)
+
+// CountingBloom is a counting Bloom filter with 4-bit saturating counters,
+// two counters per byte — the structure NEST builds in DIMM memory.
+type CountingBloom struct {
+	counters []byte // 2 x 4-bit counters per byte
+	m        uint64 // number of counters (power of two)
+	hashes   int
+}
+
+// NewCountingBloom creates a filter with at least minCounters counters
+// (rounded up to a power of two) and the given number of hash functions.
+func NewCountingBloom(minCounters uint64, hashes int) (*CountingBloom, error) {
+	if minCounters == 0 {
+		return nil, fmt.Errorf("kmer: bloom filter needs at least one counter")
+	}
+	if hashes <= 0 || hashes > 8 {
+		return nil, fmt.Errorf("kmer: hash count %d out of 1..8", hashes)
+	}
+	m := uint64(1)
+	for m < minCounters {
+		m *= 2
+	}
+	return &CountingBloom{counters: make([]byte, m/2+1), m: m, hashes: hashes}, nil
+}
+
+// Counters returns the number of 4-bit counters.
+func (b *CountingBloom) Counters() uint64 { return b.m }
+
+// Bytes returns the filter footprint in bytes.
+func (b *CountingBloom) Bytes() uint64 { return uint64(len(b.counters)) }
+
+// Hashes returns the number of hash functions.
+func (b *CountingBloom) Hashes() int { return b.hashes }
+
+// slots returns the counter indices probed for key.
+func (b *CountingBloom) slots(key uint64, out []uint64) []uint64 {
+	out = out[:0]
+	h := key
+	for i := 0; i < b.hashes; i++ {
+		h += 0x9E3779B97F4A7C15
+		z := h
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		out = append(out, z&(b.m-1))
+	}
+	return out
+}
+
+func (b *CountingBloom) get(slot uint64) byte {
+	v := b.counters[slot/2]
+	if slot%2 == 1 {
+		v >>= 4
+	}
+	return v & 0xF
+}
+
+func (b *CountingBloom) set(slot uint64, v byte) {
+	if v > 15 {
+		v = 15
+	}
+	old := b.counters[slot/2]
+	if slot%2 == 1 {
+		b.counters[slot/2] = old&0x0F | v<<4
+	} else {
+		b.counters[slot/2] = old&0xF0 | v
+	}
+}
+
+// Add increments the key's counters (saturating at 15) and returns the
+// filter's estimate of the key's count *before* this insertion.
+func (b *CountingBloom) Add(key uint64) int {
+	var buf [8]uint64
+	min := byte(0xF)
+	sl := b.slots(key, buf[:])
+	for _, s := range sl {
+		if c := b.get(s); c < min {
+			min = c
+		}
+	}
+	for _, s := range sl {
+		c := b.get(s)
+		// Conservative increment: only bump the minimal counters; keeps the
+		// overestimate tight (standard counting-Bloom refinement).
+		if c == min {
+			b.set(s, c+1)
+		}
+	}
+	return int(min)
+}
+
+// Estimate returns the filter's (over-)estimate for the key's count.
+func (b *CountingBloom) Estimate(key uint64) int {
+	var buf [8]uint64
+	min := byte(0xF)
+	for _, s := range b.slots(key, buf[:]) {
+		if c := b.get(s); c < min {
+			min = c
+		}
+	}
+	return int(min)
+}
+
+// Merge adds another filter's counters into b (saturating). The filters must
+// have identical geometry.
+func (b *CountingBloom) Merge(o *CountingBloom) error {
+	if b.m != o.m || b.hashes != o.hashes {
+		return fmt.Errorf("kmer: merging incompatible filters (%d/%d vs %d/%d counters/hashes)",
+			b.m, b.hashes, o.m, o.hashes)
+	}
+	for slot := uint64(0); slot < b.m; slot++ {
+		sum := int(b.get(slot)) + int(o.get(slot))
+		if sum > 15 {
+			sum = 15
+		}
+		b.set(slot, byte(sum))
+	}
+	return nil
+}
+
+// Config parameterizes the counting workload.
+type Config struct {
+	// K is the k-mer length (<= 32). The paper uses k=28-style short k-mers.
+	K int
+	// Hashes is the number of Bloom hash functions.
+	Hashes int
+	// CountersPerKmer scales the filter: counters = CountersPerKmer * total
+	// k-mer instances in the input.
+	CountersPerKmer int
+	// CounterEntryBytes is the size of one exact-counter record in memory
+	// (key + count).
+	CounterEntryBytes int
+	// KmersPerTask batches consecutive k-mers of a read into one
+	// schedulable task. K-mers are independent, so the KMC engine processes
+	// them in parallel across PEs; batching bounds task-chain length (and
+	// thus the memory-level parallelism the accelerator can extract).
+	KmersPerTask int
+}
+
+// DefaultConfig returns BFCounter-like parameters. CountersPerKmer = 8
+// keeps the false-positive rate (singletons misreported as repeated) well
+// under 1% at the coverage levels the workloads use.
+func DefaultConfig() Config {
+	return Config{K: 28, Hashes: 4, CountersPerKmer: 8, CounterEntryBytes: 12, KmersPerTask: 4}
+}
+
+func (c Config) validate() error {
+	if c.K <= 0 || c.K > 32 {
+		return fmt.Errorf("kmer: k=%d out of 1..32", c.K)
+	}
+	if c.Hashes <= 0 || c.Hashes > 8 {
+		return fmt.Errorf("kmer: hashes=%d out of 1..8", c.Hashes)
+	}
+	if c.CountersPerKmer <= 0 {
+		return fmt.Errorf("kmer: counters per k-mer must be positive")
+	}
+	if c.CounterEntryBytes <= 0 {
+		return fmt.Errorf("kmer: counter entry bytes must be positive")
+	}
+	if c.KmersPerTask <= 0 {
+		return fmt.Errorf("kmer: k-mers per task must be positive")
+	}
+	return nil
+}
+
+// Counts maps canonical k-mers to exact counts (only k-mers seen >= 2 times,
+// per BFCounter semantics: the first sighting parks in the Bloom filter).
+type Counts map[genome.Kmer]uint32
+
+// CountExact is the reference implementation: exact counting of canonical
+// k-mers occurring at least twice. Tests compare both flows against it.
+func CountExact(reads []genome.Read, k int) Counts {
+	all := map[genome.Kmer]uint32{}
+	for i := range reads {
+		seq := reads[i].Seq
+		for j := 0; j+k <= seq.Len(); j++ {
+			all[genome.KmerAt(seq, j, k).Canonical(k)]++
+		}
+	}
+	out := Counts{}
+	for m, c := range all {
+		if c >= 2 {
+			out[m] = c
+		}
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+package kmer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beacon/internal/genome"
+	"beacon/internal/sim"
+	"beacon/internal/trace"
+)
+
+func TestCountingBloomNeverUndercounts(t *testing.T) {
+	b, err := NewCountingBloom(1024, 4)
+	if err != nil {
+		t.Fatalf("NewCountingBloom: %v", err)
+	}
+	truth := map[uint64]int{}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 500; i++ {
+		key := rng.Uint64() % 100
+		b.Add(key)
+		truth[key]++
+	}
+	for key, n := range truth {
+		want := n
+		if want > 15 {
+			want = 15 // saturation
+		}
+		if got := b.Estimate(key); got < want {
+			t.Errorf("Estimate(%d) = %d, want >= %d", key, got, want)
+		}
+	}
+}
+
+func TestCountingBloomSaturates(t *testing.T) {
+	b, _ := NewCountingBloom(64, 2)
+	for i := 0; i < 100; i++ {
+		b.Add(7)
+	}
+	if got := b.Estimate(7); got != 15 {
+		t.Errorf("saturated estimate = %d, want 15", got)
+	}
+}
+
+func TestCountingBloomAddReturnsPriorEstimate(t *testing.T) {
+	b, _ := NewCountingBloom(4096, 4)
+	if got := b.Add(42); got != 0 {
+		t.Errorf("first Add returned %d, want 0", got)
+	}
+	if got := b.Add(42); got < 1 {
+		t.Errorf("second Add returned %d, want >= 1", got)
+	}
+}
+
+func TestCountingBloomLowFalsePositives(t *testing.T) {
+	b, _ := NewCountingBloom(64*1024, 4)
+	rng := sim.NewRNG(17)
+	present := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		key := rng.Uint64()
+		b.Add(key)
+		present[key] = true
+	}
+	fp := 0
+	probes := 10000
+	for i := 0; i < probes; i++ {
+		key := rng.Uint64()
+		if present[key] {
+			continue
+		}
+		if b.Estimate(key) > 0 {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(probes); rate > 0.01 {
+		t.Errorf("false positive rate %.4f, want <= 0.01", rate)
+	}
+}
+
+func TestCountingBloomMerge(t *testing.T) {
+	a, _ := NewCountingBloom(4096, 3)
+	b, _ := NewCountingBloom(4096, 3)
+	a.Add(1)
+	a.Add(1)
+	b.Add(1)
+	b.Add(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := a.Estimate(1); got < 3 {
+		t.Errorf("merged estimate(1) = %d, want >= 3", got)
+	}
+	if got := a.Estimate(2); got < 1 {
+		t.Errorf("merged estimate(2) = %d, want >= 1", got)
+	}
+	c, _ := NewCountingBloom(8192, 3)
+	if err := a.Merge(c); err == nil {
+		t.Error("merge of incompatible geometries accepted")
+	}
+}
+
+func TestCountingBloomValidation(t *testing.T) {
+	if _, err := NewCountingBloom(0, 4); err == nil {
+		t.Error("zero counters accepted")
+	}
+	if _, err := NewCountingBloom(10, 0); err == nil {
+		t.Error("zero hashes accepted")
+	}
+	if _, err := NewCountingBloom(10, 9); err == nil {
+		t.Error("nine hashes accepted")
+	}
+}
+
+// Property: the conservative-increment filter estimate is always an upper
+// bound on the true count (below saturation).
+func TestCountingBloomUpperBoundProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		b, err := NewCountingBloom(8192, 4)
+		if err != nil {
+			return false
+		}
+		truth := map[uint64]int{}
+		for _, k := range keys {
+			b.Add(uint64(k))
+			truth[uint64(k)]++
+		}
+		for k, n := range truth {
+			if n > 15 {
+				n = 15
+			}
+			if b.Estimate(k) < n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countingFixture(t *testing.T, nReads int) []genome.Read {
+	t.Helper()
+	ref, err := genome.Synthesize(genome.DefaultSyntheticConfig(5000, 55))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	cfg := genome.DefaultReadConfig(nReads, 66)
+	cfg.Length = 60
+	reads, err := genome.SampleReads(ref, cfg)
+	if err != nil {
+		t.Fatalf("SampleReads: %v", err)
+	}
+	return reads
+}
+
+func TestMultiPassMatchesExactOnRepeats(t *testing.T) {
+	reads := countingFixture(t, 150)
+	cfg := DefaultConfig()
+	res, err := CountMultiPass(reads, cfg, 4, "mp")
+	if err != nil {
+		t.Fatalf("CountMultiPass: %v", err)
+	}
+	exact := CountExact(reads, cfg.K)
+	for m, want := range exact {
+		if got := res.Counts[m]; got != want {
+			t.Fatalf("multi-pass count(%s) = %d, want %d", m.String(cfg.K), got, want)
+		}
+	}
+	// Extras are Bloom false positives: singletons whose filter estimate
+	// collided up to >= 2. Bound the rate over distinct singletons.
+	extras := len(res.Counts) - len(exact)
+	if extras < 0 {
+		t.Fatalf("multi-pass missed %d repeated k-mers", -extras)
+	}
+	singletons := distinctKmers(reads, cfg.K) - len(exact)
+	if rate := float64(extras) / float64(singletons+1); rate > 0.02 {
+		t.Errorf("multi-pass false-positive rate %.4f (%d/%d)", rate, extras, singletons)
+	}
+}
+
+// distinctKmers counts distinct canonical k-mers across the reads.
+func distinctKmers(reads []genome.Read, k int) int {
+	seen := map[genome.Kmer]bool{}
+	for i := range reads {
+		seq := reads[i].Seq
+		for j := 0; j+k <= seq.Len(); j++ {
+			seen[genome.KmerAt(seq, j, k).Canonical(k)] = true
+		}
+	}
+	return len(seen)
+}
+
+func TestSinglePassMatchesExactOnRepeats(t *testing.T) {
+	reads := countingFixture(t, 150)
+	cfg := DefaultConfig()
+	res, err := CountSinglePass(reads, cfg, "sp")
+	if err != nil {
+		t.Fatalf("CountSinglePass: %v", err)
+	}
+	exact := CountExact(reads, cfg.K)
+	for m, want := range exact {
+		if got := res.Counts[m]; got != want {
+			t.Fatalf("single-pass count(%s) = %d, want %d", m.String(cfg.K), got, want)
+		}
+	}
+	extras := len(res.Counts) - len(exact)
+	if extras < 0 {
+		t.Fatalf("single-pass missed %d repeated k-mers", -extras)
+	}
+	singletons := distinctKmers(reads, cfg.K) - len(exact)
+	if rate := float64(extras) / float64(singletons+1); rate > 0.02 {
+		t.Errorf("single-pass false-positive rate %.4f (%d/%d)", rate, extras, singletons)
+	}
+}
+
+func TestFlowsAgreeOnRepeatedKmers(t *testing.T) {
+	reads := countingFixture(t, 120)
+	cfg := DefaultConfig()
+	mp, err := CountMultiPass(reads, cfg, 2, "mp")
+	if err != nil {
+		t.Fatalf("CountMultiPass: %v", err)
+	}
+	sp, err := CountSinglePass(reads, cfg, "sp")
+	if err != nil {
+		t.Fatalf("CountSinglePass: %v", err)
+	}
+	exact := CountExact(reads, cfg.K)
+	for m := range exact {
+		diff := int64(mp.Counts[m]) - int64(sp.Counts[m])
+		// A first-occurrence Bloom false positive makes the single-pass flow
+		// report one extra count (BFCounter's documented approximation); the
+		// flows must otherwise agree exactly.
+		if diff != 0 && diff != -1 {
+			t.Fatalf("flows disagree on %s: mp=%d sp=%d", m.String(cfg.K), mp.Counts[m], sp.Counts[m])
+		}
+	}
+}
+
+func TestMultiPassTraceShape(t *testing.T) {
+	reads := countingFixture(t, 30)
+	cfg := DefaultConfig()
+	res, err := CountMultiPass(reads, cfg, 4, "mp-trace")
+	if err != nil {
+		t.Fatalf("CountMultiPass: %v", err)
+	}
+	wl := res.Workload
+	// Two explicit passes => twice the batch tasks.
+	kmersPerRead := 60 - cfg.K + 1
+	batches := (kmersPerRead + cfg.KmersPerTask - 1) / cfg.KmersPerTask
+	if len(wl.Tasks) != 2*len(reads)*batches {
+		t.Errorf("tasks = %d, want %d", len(wl.Tasks), 2*len(reads)*batches)
+	}
+	if !wl.LocalSpaces[trace.SpaceBloom] || !wl.LocalSpaces[trace.SpaceCounters] {
+		t.Error("multi-pass must mark bloom and counters local")
+	}
+	if wl.MergeBytes != 2*res.FilterBytes {
+		t.Errorf("MergeBytes = %d, want %d", wl.MergeBytes, 2*res.FilterBytes)
+	}
+	// Pass 1 tasks must contain RMW filter updates; pass 2 tasks reads.
+	firstPass := wl.Tasks[0]
+	sawRMW := false
+	for _, s := range firstPass.Steps {
+		if s.Space == trace.SpaceBloom && s.Op == trace.OpAtomicRMW {
+			sawRMW = true
+		}
+	}
+	if !sawRMW {
+		t.Error("pass-1 task has no filter RMW")
+	}
+	secondPass := wl.Tasks[len(wl.Tasks)/2]
+	for _, s := range secondPass.Steps {
+		if s.Space == trace.SpaceBloom && s.Op != trace.OpRead {
+			t.Fatal("pass-2 filter access is not a read")
+		}
+	}
+}
+
+func TestSinglePassTraceShape(t *testing.T) {
+	reads := countingFixture(t, 30)
+	cfg := DefaultConfig()
+	res, err := CountSinglePass(reads, cfg, "sp-trace")
+	if err != nil {
+		t.Fatalf("CountSinglePass: %v", err)
+	}
+	wl := res.Workload
+	kmersPerRead := 60 - cfg.K + 1
+	batches := (kmersPerRead + cfg.KmersPerTask - 1) / cfg.KmersPerTask
+	if len(wl.Tasks) != len(reads)*batches {
+		t.Errorf("tasks = %d, want %d", len(wl.Tasks), len(reads)*batches)
+	}
+	if wl.LocalSpaces[trace.SpaceBloom] || wl.LocalSpaces[trace.SpaceCounters] {
+		t.Error("single-pass must not mark spaces local")
+	}
+	if wl.MergeBytes != 0 {
+		t.Errorf("MergeBytes = %d, want 0", wl.MergeBytes)
+	}
+	// Filter accesses are 1-byte atomic RMWs (fine-grained, the packing
+	// opportunity the paper exploits).
+	for _, s := range wl.Tasks[0].Steps {
+		if s.Space == trace.SpaceBloom {
+			if s.Op != trace.OpAtomicRMW || s.Size != 1 {
+				t.Fatalf("filter access op=%v size=%d, want rmw/1", s.Op, s.Size)
+			}
+		}
+	}
+}
+
+func TestSinglePassMovesFewerInputBytes(t *testing.T) {
+	reads := countingFixture(t, 40)
+	cfg := DefaultConfig()
+	mp, err := CountMultiPass(reads, cfg, 2, "mp")
+	if err != nil {
+		t.Fatalf("CountMultiPass: %v", err)
+	}
+	sp, err := CountSinglePass(reads, cfg, "sp")
+	if err != nil {
+		t.Fatalf("CountSinglePass: %v", err)
+	}
+	inputBytes := func(wl *trace.Workload) uint64 {
+		var n uint64
+		for _, task := range wl.Tasks {
+			for _, s := range task.Steps {
+				if s.Space == trace.SpaceReads {
+					n += uint64(s.Size)
+				}
+			}
+		}
+		return n
+	}
+	if m, s := inputBytes(mp.Workload), inputBytes(sp.Workload); m != 2*s {
+		t.Errorf("multi-pass input bytes %d, want exactly double single-pass %d", m, s)
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	reads := countingFixture(t, 5)
+	bad := DefaultConfig()
+	bad.K = 0
+	if _, err := CountMultiPass(reads, bad, 2, "x"); err == nil {
+		t.Error("bad config accepted by multi-pass")
+	}
+	if _, err := CountSinglePass(reads, bad, "x"); err == nil {
+		t.Error("bad config accepted by single-pass")
+	}
+	if _, err := CountMultiPass(reads, DefaultConfig(), 0, "x"); err == nil {
+		t.Error("zero parts accepted")
+	}
+	if _, err := CountMultiPass(nil, DefaultConfig(), 2, "x"); err == nil {
+		t.Error("empty reads accepted")
+	}
+	if _, err := CountSinglePass(nil, DefaultConfig(), "x"); err == nil {
+		t.Error("empty reads accepted")
+	}
+}
+
+func TestCountExactSemantics(t *testing.T) {
+	// Two reads sharing one 4-mer; singletons must be filtered.
+	r1, _ := genome.FromString("ACGTA")
+	r2, _ := genome.FromString("TACGT")
+	reads := []genome.Read{{Seq: r1}, {Seq: r2}}
+	counts := CountExact(reads, 4)
+	// Canonical 4-mers of r1: ACGT, CGTA->TACG(canonical of CGTA is CGTA vs
+	// rc TACG -> TACG? verify by construction instead: total instances = 4.
+	var total uint32
+	for _, c := range counts {
+		if c < 2 {
+			t.Errorf("CountExact kept a singleton (count %d)", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Error("expected at least one repeated canonical 4-mer")
+	}
+}

@@ -1,0 +1,297 @@
+package memmgmt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beacon/internal/cxl"
+	"beacon/internal/dram"
+	"beacon/internal/trace"
+)
+
+func mapperFor(t *testing.T, mut func(*Config), home cxl.NodeID) *Mapper {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := NewMapper(cfg, home)
+	if err != nil {
+		t.Fatalf("NewMapper: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.Pool.Switches = 0 },
+		func(c *Config) { c.Pool.CXLGSlots = 99 },
+		func(c *Config) { c.Pool.CXLGSlots = -1 },
+		func(c *Config) { c.DIMM.Ranks = 0 },
+		func(c *Config) { c.CoalesceGroup = 0 },
+		func(c *Config) { c.CoalesceGroup = 3 },
+		func(c *Config) { c.StripeBytes = 0 },
+	}
+	for i, fn := range mut {
+		c := DefaultConfig()
+		fn(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewMapperValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewMapper(cfg, cxl.DIMM(9, 0)); err == nil {
+		t.Error("out-of-pool DIMM home accepted")
+	}
+	if _, err := NewMapper(cfg, cxl.Switch(9)); err == nil {
+		t.Error("out-of-pool switch home accepted")
+	}
+	if _, err := NewMapper(cfg, cxl.Host()); err != nil {
+		t.Errorf("host home rejected: %v", err)
+	}
+}
+
+func TestPlacementLocalKeepsTrafficOnOwnSwitch(t *testing.T) {
+	m := mapperFor(t, nil, cxl.DIMM(1, 0))
+	for addr := uint64(0); addr < 1<<20; addr += 4096 {
+		accs, err := m.Map(trace.SpaceOcc, addr, 32, false, false)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		for _, a := range accs {
+			if a.Node.Switch != 1 {
+				t.Fatalf("placement-local access landed on switch %d", a.Node.Switch)
+			}
+		}
+	}
+}
+
+func TestPlacementGlobalSpreadsAcrossPool(t *testing.T) {
+	m := mapperFor(t, func(c *Config) { c.PlacementLocal = false; c.HotLocal = false }, cxl.DIMM(0, 0))
+	seen := map[cxl.NodeID]int{}
+	for addr := uint64(0); addr < 1<<20; addr += 4096 {
+		accs, err := m.Map(trace.SpaceOcc, addr, 32, false, false)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		for _, a := range accs {
+			seen[a.Node]++
+		}
+	}
+	if len(seen) != 8 {
+		t.Errorf("global placement used %d DIMMs, want 8", len(seen))
+	}
+}
+
+func TestLocalSpacesPinToHome(t *testing.T) {
+	home := cxl.DIMM(0, 0)
+	m := mapperFor(t, nil, home)
+	for addr := uint64(0); addr < 1<<18; addr += 999 {
+		accs, err := m.Map(trace.SpaceBloom, addr, 1, false, true)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		for _, a := range accs {
+			if a.Node != home {
+				t.Fatalf("local access landed on %v, want %v", a.Node, home)
+			}
+		}
+	}
+	// Switch-homed mapper pins to its DIMM set instead.
+	ms := mapperFor(t, nil, cxl.Switch(1))
+	for addr := uint64(0); addr < 1<<18; addr += 997 {
+		accs, err := ms.Map(trace.SpaceBloom, addr, 1, false, true)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		for _, a := range accs {
+			if a.Node.Switch != 1 {
+				t.Fatalf("switch-local access on switch %d", a.Node.Switch)
+			}
+		}
+	}
+}
+
+func TestCXLGGetsFineGrainedModes(t *testing.T) {
+	m := mapperFor(t, nil, cxl.DIMM(0, 0))
+	// Slot 0 is CXLG: fine-grained access must be coalesced with group 8.
+	accs, err := m.Map(trace.SpaceBloom, 64, 1, false, true) // pinned to home = slot 0
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for _, a := range accs {
+		if a.Mode != dram.ModeCoalesced {
+			t.Errorf("CXLG access mode %v, want coalesced", a.Mode)
+		}
+	}
+	// With group 1, mode is per-chip.
+	m1 := mapperFor(t, func(c *Config) { c.CoalesceGroup = 1 }, cxl.DIMM(0, 0))
+	accs, err = m1.Map(trace.SpaceBloom, 64, 1, false, true)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for _, a := range accs {
+		if a.Mode != dram.ModePerChip {
+			t.Errorf("group-1 access mode %v, want per-chip", a.Mode)
+		}
+	}
+}
+
+func TestUnmodifiedDIMMsAreLockstep(t *testing.T) {
+	// BEACON-S pool: no CXLG slots; every access is lock-step regardless of
+	// scheme (no per-chip CS on unmodified DIMMs).
+	m := mapperFor(t, func(c *Config) { c.Pool.CXLGSlots = 0 }, cxl.Switch(0))
+	for addr := uint64(0); addr < 1<<16; addr += 1024 {
+		accs, err := m.Map(trace.SpaceOcc, addr, 32, false, false)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		for _, a := range accs {
+			if a.Mode != dram.ModeLockstep {
+				t.Fatalf("unmodified DIMM mode %v", a.Mode)
+			}
+		}
+	}
+}
+
+func TestSpatialRowMajorMinimizesRowSpan(t *testing.T) {
+	cfg := DefaultConfig()
+	m := mapperFor(t, nil, cxl.DIMM(0, 0))
+	// A 512 B spatial read under arch-data mapping must touch exactly one
+	// (node, rank, bank, row) tuple when it fits a row segment.
+	accs, err := m.Map(trace.SpaceCandidates, 8192, 512, true, true)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if len(accs) != 1 {
+		t.Fatalf("spatial 512 B mapped to %d accesses, want 1 (got %+v)", len(accs), accs)
+	}
+	// The fixed scheme splits the same read into 64 B units across banks.
+	mf := mapperFor(t, func(c *Config) { c.Scheme = SchemeFixed }, cxl.DIMM(0, 0))
+	accsF, err := mf.Map(trace.SpaceCandidates, 8192, 512, true, true)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if len(accsF) != 512/64 {
+		t.Fatalf("fixed spatial mapped to %d accesses, want %d", len(accsF), 512/64)
+	}
+	banks := map[[3]int]bool{}
+	for _, a := range accsF {
+		banks[[3]int{a.Loc.Rank, a.Loc.Bank, int(a.Loc.Row)}] = true
+	}
+	if len(banks) < 2 {
+		t.Error("fixed mapping did not spread a spatial read across banks")
+	}
+	_ = cfg
+}
+
+func TestFineGrainedInterleaveSpreadsBanks(t *testing.T) {
+	m := mapperFor(t, nil, cxl.DIMM(0, 0))
+	seen := map[[3]int]bool{}
+	for i := 0; i < 256; i++ {
+		accs, err := m.Map(trace.SpaceOcc, uint64(i)*32, 32, false, true)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		for _, a := range accs {
+			seen[[3]int{a.Loc.Rank, a.Loc.Chip, a.Loc.Bank}] = true
+		}
+	}
+	// 2 groups x 16 banks x 4 ranks = 128 distinct slots; sequential blocks
+	// must use a large fraction.
+	if len(seen) < 64 {
+		t.Errorf("fine-grained interleave used only %d bank slots", len(seen))
+	}
+}
+
+func TestMapSplitsStripeBoundary(t *testing.T) {
+	m := mapperFor(t, func(c *Config) { c.StripeBytes = 128 }, cxl.DIMM(0, 0))
+	accs, err := m.Map(trace.SpaceCandidates, 100, 100, true, false)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	var total int
+	for _, a := range accs {
+		total += a.Bytes
+	}
+	if total != 100 {
+		t.Errorf("split pieces sum to %d, want 100", total)
+	}
+	if len(accs) < 2 {
+		t.Errorf("stripe-crossing access produced %d pieces, want >= 2", len(accs))
+	}
+}
+
+func TestMapZeroSizeRejected(t *testing.T) {
+	m := mapperFor(t, nil, cxl.DIMM(0, 0))
+	if _, err := m.Map(trace.SpaceOcc, 0, 0, false, false); err == nil {
+		t.Error("zero-size access accepted")
+	}
+}
+
+// Property: mapping conserves bytes and produces in-range locations.
+func TestMapConservationProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := NewMapper(cfg, cxl.DIMM(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint32, size uint16, spatial, local bool) bool {
+		sz := uint32(size)%2048 + 1
+		accs, err := m.Map(trace.SpaceOcc, uint64(addr), sz, spatial, local)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, a := range accs {
+			total += a.Bytes
+			if a.Loc.Rank < 0 || a.Loc.Rank >= cfg.DIMM.Ranks ||
+				a.Loc.Bank < 0 || a.Loc.Bank >= cfg.DIMM.Banks() ||
+				a.Loc.Chip < 0 || a.Loc.Chip >= cfg.DIMM.ChipsPerRank ||
+				a.Loc.Row < 0 {
+				return false
+			}
+		}
+		return total == int(sz)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mapping is deterministic — a pure function of its arguments.
+func TestMapDeterministicProperty(t *testing.T) {
+	m, err := NewMapper(DefaultConfig(), cxl.Switch(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint32, size uint8, spatial bool) bool {
+		sz := uint32(size) + 1
+		a, err1 := m.Map(trace.SpaceCandidates, uint64(addr), sz, spatial, false)
+		b, err2 := m.Map(trace.SpaceCandidates, uint64(addr), sz, spatial, false)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeFixed.String() != "fixed" || SchemeArchData.String() != "arch-data" {
+		t.Error("scheme names broken")
+	}
+}

@@ -1,0 +1,163 @@
+package ndp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beacon/internal/sim"
+	"beacon/internal/trace"
+)
+
+func testModule(t *testing.T, mut func(*Config)) *Module {
+	t.Helper()
+	cfg := Config{PEs: 4, QueueDepth: 8, AtomicEngines: 2, AtomicLatency: 4}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := New("test", cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PEs: 0, AtomicEngines: 1},
+		{PEs: 1, AtomicEngines: 0},
+		{PEs: 1, AtomicEngines: 1, QueueDepth: -1},
+		{PEs: 1, AtomicEngines: 1, AtomicLatency: -1},
+	}
+	for i, c := range bad {
+		if _, err := New("x", c); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestSchedulerAdmissionBound(t *testing.T) {
+	m := testModule(t, nil)
+	tasks := make([]trace.Task, 20)
+	for i := range tasks {
+		m.Enqueue(&tasks[i])
+	}
+	started := 0
+	m.Admit(func(*trace.Task) { started++ })
+	if started != 8 || m.Active() != 8 || m.Backlog() != 12 {
+		t.Errorf("started=%d active=%d backlog=%d, want 8/8/12", started, m.Active(), m.Backlog())
+	}
+	// Completing one admits exactly one more.
+	m.Complete(func(*trace.Task) { started++ })
+	if started != 9 || m.Active() != 8 {
+		t.Errorf("after complete: started=%d active=%d", started, m.Active())
+	}
+	if m.Admitted() != 9 || m.Completed() != 1 {
+		t.Errorf("admitted=%d completed=%d", m.Admitted(), m.Completed())
+	}
+}
+
+func TestCompleteWithoutActivePanics(t *testing.T) {
+	m := testModule(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Complete(func(*trace.Task) {})
+}
+
+func TestDefaultQueueDepth(t *testing.T) {
+	m := testModule(t, func(c *Config) { c.QueueDepth = 0 })
+	for i := 0; i < 100; i++ {
+		m.Enqueue(&trace.Task{})
+	}
+	m.Admit(func(*trace.Task) {})
+	// 4 PEs x 16 = 64 default depth.
+	if m.Active() != 64 {
+		t.Errorf("active = %d, want 64", m.Active())
+	}
+}
+
+func TestComputeChargesEngineLatency(t *testing.T) {
+	m := testModule(t, nil)
+	end := m.Compute(0, trace.EngineKMC, trace.Step{})
+	if end != 59 {
+		t.Errorf("KMC step end = %d, want 59", end)
+	}
+	end = m.Compute(100, trace.EngineKMC, trace.Step{Light: true})
+	if end != 101 {
+		t.Errorf("light step end = %d, want 101", end)
+	}
+	end = m.Compute(200, trace.EngineFMIndex, trace.Step{Compute: 10})
+	if end != 226 {
+		t.Errorf("fm step with extra compute end = %d, want 226", end)
+	}
+	if m.PEBusyCycles() != 59+1+26 {
+		t.Errorf("busy = %d", m.PEBusyCycles())
+	}
+}
+
+func TestComputeParallelismBoundedByPEs(t *testing.T) {
+	m := testModule(t, nil) // 4 PEs
+	var last sim.Cycle
+	for i := 0; i < 8; i++ {
+		last = m.Compute(0, trace.EngineFMIndex, trace.Step{})
+	}
+	// Two waves of 4 on 4 PEs: the eighth finishes at 32.
+	if last != 32 {
+		t.Errorf("eighth step end = %d, want 32", last)
+	}
+}
+
+func TestAtomicBank(t *testing.T) {
+	m := testModule(t, nil) // 2 engines, latency 4
+	a := m.Atomic(0)
+	b := m.Atomic(0)
+	c := m.Atomic(0)
+	if a != 4 || b != 4 {
+		t.Errorf("parallel atomics ended at %d/%d, want 4/4", a, b)
+	}
+	if c != 8 {
+		t.Errorf("third atomic ended at %d, want 8 (queued)", c)
+	}
+	if m.AtomicLatency() != 4 {
+		t.Errorf("AtomicLatency = %d", m.AtomicLatency())
+	}
+}
+
+// Property: admission never exceeds the queue depth and enqueue order is
+// preserved.
+func TestSchedulerFIFOProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		m, err := New("p", Config{PEs: 2, QueueDepth: 3, AtomicEngines: 1})
+		if err != nil {
+			return false
+		}
+		next := 0
+		var order []int
+		tasks := map[*trace.Task]int{}
+		for _, enqueue := range ops {
+			if enqueue {
+				t := &trace.Task{}
+				tasks[t] = next
+				next++
+				m.Enqueue(t)
+				m.Admit(func(t *trace.Task) { order = append(order, tasks[t]) })
+			} else if m.Active() > 0 {
+				m.Complete(func(t *trace.Task) { order = append(order, tasks[t]) })
+			}
+			if m.Active() > 3 {
+				return false
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] != order[i-1]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package prealign implements a Shouji-style DNA pre-alignment filter: a
+// cheap bit-parallel test that rejects candidate (read, reference-location)
+// pairs whose edit distance provably exceeds a threshold, so the expensive
+// full aligner only runs on plausible pairs.
+//
+// Like Shouji (Alser et al., Bioinformatics 2019), the filter builds
+// neighborhood bit-vectors for the 2E+1 diagonals of the banded alignment
+// matrix and greedily assembles a "common subsequence" from 4-column
+// windows, choosing per window the diagonal segment with the fewest
+// mismatches. The filter is lenient by construction — it never rejects a
+// pair whose true edit distance is within the threshold — a property the
+// tests verify against a reference dynamic-programming aligner.
+package prealign
+
+import (
+	"fmt"
+
+	"beacon/internal/genome"
+	"beacon/internal/trace"
+)
+
+// windowCols is Shouji's sliding-window width (4 columns in the paper).
+const windowCols = 4
+
+// Config parameterizes the filter.
+type Config struct {
+	// MaxEdits is the edit-distance threshold E.
+	MaxEdits int
+	// Candidates is the number of candidate locations tested per read in
+	// the generated workload (one true location plus decoys).
+	Candidates int
+}
+
+// DefaultConfig uses the common 5%-of-read-length error budget for 100 bp
+// reads and a seeding-like candidate load.
+func DefaultConfig() Config {
+	return Config{MaxEdits: 5, Candidates: 8}
+}
+
+// Filter decides whether the read may align to ref[refPos:] within
+// cfg.MaxEdits edits. It returns the estimated (lower-bound) mismatch count
+// and the accept decision.
+func Filter(read *genome.Sequence, ref *genome.Sequence, refPos int, maxEdits int) (int, bool) {
+	l := read.Len()
+	if l == 0 {
+		return 0, true
+	}
+	e := maxEdits
+	numDiag := 2*e + 1
+	// Build the neighborhood map: diag d in [-e, +e] compares read[i] with
+	// ref[refPos+i+d]. Out-of-range reference positions count as mismatches.
+	diags := make([][]bool, numDiag)
+	for di := 0; di < numDiag; di++ {
+		d := di - e
+		v := make([]bool, l) // true = mismatch
+		for i := 0; i < l; i++ {
+			rp := refPos + i + d
+			if rp < 0 || rp >= ref.Len() {
+				v[i] = true
+				continue
+			}
+			v[i] = read.At(i) != ref.At(rp)
+		}
+		diags[di] = v
+	}
+	// Greedy window pass: for each 4-column window pick the diagonal segment
+	// with the fewest mismatches and commit it to the common subsequence.
+	mismatches := 0
+	for col := 0; col < l; col += windowCols {
+		end := col + windowCols
+		if end > l {
+			end = l
+		}
+		best := end - col + 1
+		for di := 0; di < numDiag; di++ {
+			cnt := 0
+			for i := col; i < end; i++ {
+				if diags[di][i] {
+					cnt++
+				}
+			}
+			if cnt < best {
+				best = cnt
+			}
+		}
+		mismatches += best
+		if mismatches > maxEdits {
+			return mismatches, false
+		}
+	}
+	return mismatches, mismatches <= maxEdits
+}
+
+// EditDistance computes the banded Levenshtein distance between a and b,
+// returning band+1 if the distance exceeds band. It is the reference
+// implementation used to validate the filter's leniency and to measure
+// decoy rejection.
+func EditDistance(a, b *genome.Sequence, band int) int {
+	la, lb := a.Len(), b.Len()
+	inf := band + 1
+	if diff := la - lb; diff > band || -diff > band {
+		return inf
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		if j <= band {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - band
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + band
+		if hi > lb {
+			hi = lb
+		}
+		for j := 0; j <= lb; j++ {
+			cur[j] = inf
+		}
+		if i-0 <= band {
+			cur[0] = i
+		}
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a.At(i-1) == b.At(j-1) {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			if best > inf {
+				best = inf
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > band {
+		return inf
+	}
+	return prev[lb]
+}
+
+// Candidate is one filtered location.
+type Candidate struct {
+	RefPos   int
+	Accepted bool
+	// Mismatch is the filter's lower-bound mismatch estimate.
+	Mismatch int
+}
+
+// Result is the per-read functional output.
+type Result struct {
+	Candidates []Candidate
+}
+
+// FilterReads runs the filter over each read against cfg.Candidates
+// candidate locations (the read's true origin plus random decoys, emulating
+// the candidate stream a seeding stage produces) and emits the workload.
+//
+// Per candidate the accelerator streams the read (once per task) and the
+// reference window — coarse, spatially local accesses; pre-alignment is the
+// most compute-heavy of the four engines (82 DRAM cycles per step, §VI-A).
+func FilterReads(ref *genome.Sequence, reads []genome.Read, cfg Config, seed uint64, name string) ([]Result, *trace.Workload, error) {
+	if cfg.MaxEdits < 0 {
+		return nil, nil, fmt.Errorf("prealign: negative edit threshold %d", cfg.MaxEdits)
+	}
+	if cfg.Candidates <= 0 {
+		return nil, nil, fmt.Errorf("prealign: candidates must be positive, got %d", cfg.Candidates)
+	}
+	if len(reads) == 0 {
+		return nil, nil, fmt.Errorf("prealign: no reads")
+	}
+	rng := newSplit(seed)
+	results := make([]Result, len(reads))
+	wl := &trace.Workload{Name: name, Passes: 1}
+	wl.SpaceBytes[trace.SpaceReference] = uint64(ref.PackedBytes())
+	var readBytes uint64
+	for i := range reads {
+		readBytes += uint64((reads[i].Seq.Len() + 3) / 4)
+	}
+	wl.SpaceBytes[trace.SpaceReads] = readBytes
+
+	var readOff uint64
+	for ri := range reads {
+		read := reads[ri].Seq
+		task := trace.Task{Engine: trace.EnginePreAlign}
+		rb := uint32((read.Len() + 3) / 4)
+		task.Steps = append(task.Steps, trace.Step{
+			Op: trace.OpRead, Space: trace.SpaceReads, Addr: readOff, Size: rb,
+			Spatial: true, Light: true,
+		})
+		readOff += uint64(rb)
+
+		for ci := 0; ci < cfg.Candidates; ci++ {
+			var pos int
+			if ci == 0 && !reads[ri].ReverseStrand {
+				pos = reads[ri].Origin
+			} else {
+				pos = int(rng.next() % uint64(ref.Len()-read.Len()+1))
+			}
+			// Window covers the band around the candidate.
+			lo := pos - cfg.MaxEdits
+			if lo < 0 {
+				lo = 0
+			}
+			hi := pos + read.Len() + cfg.MaxEdits
+			if hi > ref.Len() {
+				hi = ref.Len()
+			}
+			task.Steps = append(task.Steps, trace.Step{
+				Op: trace.OpRead, Space: trace.SpaceReference,
+				Addr: uint64(lo / 4), Size: uint32((hi-lo+3)/4 + 1), Spatial: true,
+			})
+			mm, ok := Filter(read, ref, pos, cfg.MaxEdits)
+			results[ri].Candidates = append(results[ri].Candidates, Candidate{RefPos: pos, Accepted: ok, Mismatch: mm})
+		}
+		wl.Tasks = append(wl.Tasks, task)
+	}
+	// Reference windows can poke slightly past the packed buffer; pad.
+	wl.SpaceBytes[trace.SpaceReference] += 8
+	if err := wl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return results, wl, nil
+}
+
+// splitmix64 generator local to workload generation (distinct from sim.RNG to
+// avoid an import cycle in future refactors; identical statistics).
+type split struct{ x uint64 }
+
+func newSplit(seed uint64) *split { return &split{x: seed} }
+
+func (s *split) next() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

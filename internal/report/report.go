@@ -1,0 +1,109 @@
+// Package report renders the evaluation harness's results as aligned text
+// tables, the form in which cmd/beaconbench and EXPERIMENTS.md present the
+// reproduced figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with %v
+// for strings and %.2f for floats.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out = append(out, v)
+		case float64:
+			out = append(out, FormatRatio(v))
+		case float32:
+			out = append(out, FormatRatio(float64(v)))
+		default:
+			out = append(out, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatRatio renders a speedup/ratio with sensible precision: 525.73x-style
+// for large values, 1.08x-style for small ones.
+func FormatRatio(v float64) string {
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.1fx", v)
+	case v >= 10:
+		return fmt.Sprintf("%.2fx", v)
+	default:
+		return fmt.Sprintf("%.3fx", v)
+	}
+}
+
+// FormatPercent renders a fraction as a percentage.
+func FormatPercent(v float64) string {
+	return fmt.Sprintf("%.2f%%", 100*v)
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "a", "bbbb", "c")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("longer", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Column alignment: every data row must be at least as wide as headers.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	// Extra cells are dropped, missing are blank.
+	tb2 := NewTable("", "x")
+	tb2.AddRow("a", "dropped")
+	if strings.Contains(tb2.String(), "dropped") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "s", "f", "i")
+	tb.AddRowf("str", 1.5, 42)
+	out := tb.String()
+	if !strings.Contains(out, "str") || !strings.Contains(out, "1.500x") || !strings.Contains(out, "42") {
+		t.Errorf("AddRowf output = %q", out)
+	}
+}
+
+func TestFormatRatio(t *testing.T) {
+	cases := map[float64]string{
+		525.73: "525.7x",
+		99.99:  "99.99x",
+		12.345: "12.35x", // rounded
+		1.084:  "1.084x",
+		0.5:    "0.500x",
+	}
+	for v, want := range cases {
+		if got := FormatRatio(v); got != want {
+			t.Errorf("FormatRatio(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if got := FormatPercent(0.9652); got != "96.52%" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timing model in this repository. Time advances in integer DRAM bus cycles;
+// components schedule closures on a shared engine and model contention with
+// resource calendars (see resource.go).
+//
+// The kernel is deliberately small: an event heap with deterministic
+// tie-breaking, a clock, and a handful of queueing primitives. Determinism is
+// a hard requirement — two runs with the same configuration and seed must
+// produce identical cycle counts — so all iteration orders are defined and no
+// map iteration ever reaches a scheduling decision.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in DRAM bus cycles (tCK).
+// With DDR4-1600 (tCK = 1.25 ns) a Cycle corresponds to 1.25 ns.
+type Cycle int64
+
+// Cycles is a duration in DRAM bus cycles.
+type Cycles = Cycle
+
+const (
+	// Never is a sentinel "unreachable" time.
+	Never Cycle = 1<<62 - 1
+)
+
+type event struct {
+	at  Cycle
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	// Executed counts events that have run; useful for progress accounting
+	// and runaway detection in tests.
+	executed uint64
+	// MaxEvents, when non-zero, aborts Run with an error after that many
+	// events. It is a safety net against livelocked models.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Executed returns the number of events that have been dispatched.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of scheduled-but-not-yet-run events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles. A negative delay is an error in the
+// model; it panics because it indicates a bug, not a recoverable condition.
+func (e *Engine) Schedule(delay Cycles, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time at (>= Now).
+func (e *Engine) ScheduleAt(at Cycle, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%d now=%d", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Run drains the event heap until it is empty, returning the final time.
+// If MaxEvents is exceeded, Run returns an error describing the livelock.
+func (e *Engine) Run() (Cycle, error) {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
+			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d (livelock?)", e.MaxEvents, e.now)
+		}
+		ev.fn()
+	}
+	return e.now, nil
+}
+
+// RunUntil processes events with at <= deadline. Remaining events stay queued
+// and the clock stops at min(deadline, last event time).
+func (e *Engine) RunUntil(deadline Cycle) (Cycle, error) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
+			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d (livelock?)", e.MaxEvents, e.now)
+		}
+		ev.fn()
+	}
+	if e.now < deadline && len(e.events) == 0 {
+		e.now = deadline
+	}
+	return e.now, nil
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Cycle
+	for _, d := range []Cycles{30, 10, 20, 10, 0} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 30 {
+		t.Errorf("final time = %d, want 30", end)
+	}
+	want := []Cycle{0, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want insertion order", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var chain []Cycle
+	var step func(remaining int)
+	step = func(remaining int) {
+		chain = append(chain, e.Now())
+		if remaining > 0 {
+			e.Schedule(7, func() { step(remaining - 1) })
+		}
+	}
+	e.Schedule(0, func() { step(4) })
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 28 {
+		t.Errorf("end = %d, want 28", end)
+	}
+	if len(chain) != 5 {
+		t.Errorf("chain length = %d, want 5", len(chain))
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineMaxEventsDetectsLivelock(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 100
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(0, loop)
+	if _, err := e.Run(); err == nil {
+		t.Fatal("expected livelock error")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(20, func() { ran++ })
+	e.Schedule(30, func() { ran++ })
+	now, err := e.RunUntil(20)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if now != 20 || ran != 2 {
+		t.Errorf("now=%d ran=%d, want 20, 2", now, ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("ran = %d after drain, want 3", ran)
+	}
+}
+
+// Property: regardless of the delays scheduled, events observe a
+// monotonically non-decreasing clock.
+func TestEngineClockMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Cycle(-1)
+		ok := true
+		for _, d := range delays {
+			d := Cycles(d)
+			e.Schedule(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the engine is deterministic — same schedule, same execution trace.
+func TestEngineDeterminismProperty(t *testing.T) {
+	run := func(delays []uint16) []Cycle {
+		e := NewEngine()
+		var tr []Cycle
+		for _, d := range delays {
+			e.Schedule(Cycles(d), func() { tr = append(tr, e.Now()) })
+		}
+		if _, err := e.Run(); err != nil {
+			return nil
+		}
+		return tr
+	}
+	f := func(delays []uint16) bool {
+		a, b := run(delays), run(delays)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

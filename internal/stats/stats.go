@@ -1,0 +1,107 @@
+// Package stats provides the small numeric helpers the evaluation harness
+// uses: geometric means (the paper's cross-dataset aggregation), speedup
+// arithmetic, and simple distribution summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. It returns an error if xs is
+// empty or contains a non-positive value (a geomean over ratios requires
+// positive inputs).
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean requires positive values, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MustGeoMean is GeoMean for aggregation sites where inputs are speedups
+// computed by the harness itself; it panics on invalid input because that
+// indicates a harness bug.
+func MustGeoMean(xs []float64) float64 {
+	g, err := GeoMean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// CoefVar returns the coefficient of variation (stddev/mean), the chip
+// balance metric of Fig. 13. Zero mean yields 0.
+func CoefVar(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// copy of xs. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Speedup returns base/new — how many times faster `new` is than `base`
+// when both are durations/costs. It panics on non-positive inputs.
+func Speedup(baseCost, newCost float64) float64 {
+	if baseCost <= 0 || newCost <= 0 {
+		panic(fmt.Sprintf("stats: speedup of non-positive costs %g/%g", baseCost, newCost))
+	}
+	return baseCost / newCost
+}

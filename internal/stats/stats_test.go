@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil || !almost(g, 4) {
+		t.Errorf("GeoMean(2,8) = %g, %v", g, err)
+	}
+	g, err = GeoMean([]float64{5})
+	if err != nil || !almost(g, 5) {
+		t.Errorf("GeoMean(5) = %g, %v", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty geomean accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero value accepted")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestMustGeoMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustGeoMean([]float64{-1})
+}
+
+// Property: geomean lies between min and max of the inputs.
+func TestGeoMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g, err := GeoMean(xs)
+		return err == nil && g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean broken")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) != 0")
+	}
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("constant stddev != 0")
+	}
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Error("StdDev(1,3) != 1")
+	}
+}
+
+func TestCoefVar(t *testing.T) {
+	if CoefVar([]float64{0, 0}) != 0 {
+		t.Error("zero-mean CV != 0")
+	}
+	if !almost(CoefVar([]float64{1, 3}), 0.5) {
+		t.Errorf("CV(1,3) = %g, want 0.5", CoefVar([]float64{1, 3}))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 60); got != 3 {
+		t.Errorf("p60 = %g", got)
+	}
+	// Out-of-range p clamps.
+	if got := Percentile(xs, -5); got != 1 {
+		t.Errorf("p-5 = %g", got)
+	}
+	if got := Percentile(xs, 200); got != 5 {
+		t.Errorf("p200 = %g", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if !almost(Speedup(10, 2), 5) {
+		t.Error("Speedup(10,2) != 5")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive cost")
+		}
+	}()
+	Speedup(0, 1)
+}

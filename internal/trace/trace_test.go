@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func validWorkload() *Workload {
+	wl := &Workload{Name: "w", Passes: 1}
+	wl.SpaceBytes[SpaceOcc] = 1024
+	wl.SpaceBytes[SpaceReads] = 64
+	wl.Tasks = []Task{
+		{Engine: EngineFMIndex, Steps: []Step{
+			{Op: OpRead, Space: SpaceReads, Addr: 0, Size: 16, Spatial: true},
+			{Op: OpRead, Space: SpaceOcc, Addr: 992, Size: 32},
+		}},
+		{Engine: EngineKMC, Steps: []Step{
+			{Op: OpAtomicRMW, Space: SpaceOcc, Addr: 0, Size: 1},
+		}},
+	}
+	return wl
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validWorkload().Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Workload)
+	}{
+		{"zero passes", func(w *Workload) { w.Passes = 0 }},
+		{"no tasks", func(w *Workload) { w.Tasks = nil }},
+		{"bad engine", func(w *Workload) { w.Tasks[0].Engine = NumEngines }},
+		{"bad space", func(w *Workload) { w.Tasks[0].Steps[0].Space = NumSpaces }},
+		{"zero size", func(w *Workload) { w.Tasks[0].Steps[0].Size = 0 }},
+		{"out of bounds", func(w *Workload) { w.Tasks[0].Steps[1].Addr = 1000 }},
+		{"unused space", func(w *Workload) { w.Tasks[0].Steps[0].Space = SpaceBloom }},
+	}
+	for _, c := range cases {
+		wl := validWorkload()
+		c.mut(wl)
+		if wl.Validate() == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	wl := validWorkload()
+	if got := wl.TotalSteps(); got != 3 {
+		t.Errorf("TotalSteps = %d, want 3", got)
+	}
+	if got := wl.TotalBytes(); got != 49 {
+		t.Errorf("TotalBytes = %d, want 49", got)
+	}
+	if got := wl.FootprintBytes(); got != 1088 {
+		t.Errorf("FootprintBytes = %d, want 1088", got)
+	}
+}
+
+func TestEngineLatencies(t *testing.T) {
+	// The paper's §VI-A synthesized latencies.
+	want := map[Engine]int{
+		EngineFMIndex:   16,
+		EngineHashIndex: 10,
+		EngineKMC:       59,
+		EnginePreAlign:  82,
+	}
+	for e, w := range want {
+		if got := e.ComputeCycles(); got != w {
+			t.Errorf("%v latency = %d, want %d", e, got, w)
+		}
+	}
+	if Engine(99).ComputeCycles() <= 0 {
+		t.Error("unknown engine latency must be positive")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SpaceOcc.String() != "occ" || SpaceReads.String() != "reads" {
+		t.Error("space names broken")
+	}
+	if !strings.Contains(Space(99).String(), "99") {
+		t.Error("unknown space should render numerically")
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpAtomicRMW.String() != "rmw" {
+		t.Error("op names broken")
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Error("unknown op should render numerically")
+	}
+	if EngineKMC.String() != "kmc" {
+		t.Error("engine names broken")
+	}
+	if !strings.Contains(Engine(9).String(), "9") {
+		t.Error("unknown engine should render numerically")
+	}
+}

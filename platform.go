@@ -1,0 +1,270 @@
+package beacon
+
+import (
+	"fmt"
+	"strings"
+
+	"beacon/internal/baseline"
+	"beacon/internal/core"
+	"beacon/internal/stats"
+	"beacon/internal/trace"
+)
+
+// PlatformKind selects the system a workload runs on.
+type PlatformKind int
+
+// The simulated platforms.
+const (
+	// CPU is the 48-thread Xeon software baseline (analytic model).
+	CPU PlatformKind = iota
+	// DDRBaseline is the previous generation of DIMM-based NDP accelerators
+	// (MEDAL for seeding, NEST for k-mer counting) on DDR channels.
+	DDRBaseline
+	// BeaconD computes in enhanced CXLG-DIMMs.
+	BeaconD
+	// BeaconS computes in enhanced CXL-Switches.
+	BeaconS
+)
+
+// String names the platform.
+func (p PlatformKind) String() string {
+	switch p {
+	case CPU:
+		return "cpu"
+	case DDRBaseline:
+		return "ddr-ndp"
+	case BeaconD:
+		return "beacon-d"
+	case BeaconS:
+		return "beacon-s"
+	}
+	return fmt.Sprintf("platform(%d)", int(p))
+}
+
+// Options mirrors the paper's optimization ladder for the BEACON platforms
+// (ignored by CPU; only IdealComm applies to the DDR baseline).
+type Options struct {
+	// DataPacking packs fine-grained payloads into shared CXL flits.
+	DataPacking bool
+	// MemAccessOpt uses device-bias direct routing instead of host
+	// coherence detours.
+	MemAccessOpt bool
+	// Placement enables proximity placement + arch/data-aware mapping.
+	Placement bool
+	// Coalescing enables multi-chip coalescing (BEACON-D).
+	Coalescing bool
+	// IdealComm idealizes all communication (infinite bandwidth, zero
+	// latency).
+	IdealComm bool
+}
+
+// Vanilla is the CXL-vanilla configuration (no optimizations).
+func Vanilla() Options { return Options{} }
+
+// AllOptimizations enables the full stack.
+func AllOptimizations() Options {
+	return Options{DataPacking: true, MemAccessOpt: true, Placement: true, Coalescing: true}
+}
+
+// IdealComm enables the full stack over an idealized fabric.
+func IdealComm() Options {
+	o := AllOptimizations()
+	o.IdealComm = true
+	return o
+}
+
+func (o Options) coreOpts() core.Options {
+	return core.Options{
+		DataPacking:  o.DataPacking,
+		MemAccessOpt: o.MemAccessOpt,
+		Placement:    o.Placement,
+		Coalescing:   o.Coalescing,
+		IdealComm:    o.IdealComm,
+	}
+}
+
+// Platform is a runnable system configuration.
+type Platform struct {
+	// Kind selects the system.
+	Kind PlatformKind
+	// Opts positions BEACON on its optimization ladder.
+	Opts Options
+}
+
+// Report summarizes one simulation.
+type Report struct {
+	// Platform and Workload identify the run.
+	Platform Platform
+	Workload string
+	// Cycles is the makespan in DRAM bus cycles (1.25 ns).
+	Cycles int64
+	// Seconds is the makespan in seconds.
+	Seconds float64
+	// EnergyPJ is total energy; CommEnergyPJ, DRAMEnergyPJ and
+	// ComputeEnergyPJ are the Fig. 17 components.
+	EnergyPJ        float64
+	CommEnergyPJ    float64
+	DRAMEnergyPJ    float64
+	ComputeEnergyPJ float64
+	// LocalFraction is the share of DRAM accesses served by the compute
+	// node's own DIMM (NDP platforms).
+	LocalFraction float64
+	// WireBytes is fabric traffic (CXL platforms) or channel traffic (DDR).
+	WireBytes uint64
+	// HostCrossings counts host coherence detours.
+	HostCrossings uint64
+	// ChipAccesses is the per-chip burst distribution on CXLG-DIMMs
+	// (BEACON-D only; Fig. 13).
+	ChipAccesses []uint64
+}
+
+// CommEnergyRatio returns communication's share of total energy.
+func (r *Report) CommEnergyRatio() float64 {
+	if r.EnergyPJ == 0 {
+		return 0
+	}
+	return r.CommEnergyPJ / r.EnergyPJ
+}
+
+// SpeedupOver returns how many times faster this run is than other.
+func (r *Report) SpeedupOver(other *Report) float64 {
+	return stats.Speedup(float64(other.Cycles), float64(r.Cycles))
+}
+
+// EnergyReductionOver returns the energy-consumption ratio other/this.
+func (r *Report) EnergyReductionOver(other *Report) float64 {
+	return stats.Speedup(other.EnergyPJ, r.EnergyPJ)
+}
+
+// Simulate replays the workload on the platform.
+func Simulate(p Platform, w *Workload) (*Report, error) {
+	if w == nil || w.tr == nil {
+		return nil, fmt.Errorf("beacon: nil workload")
+	}
+	rep := &Report{Platform: p, Workload: w.Name}
+	switch p.Kind {
+	case CPU:
+		res, err := baseline.RunCPU(baseline.DefaultCPUConfig(), w.tr)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cycles = int64(res.Cycles)
+		rep.Seconds = res.Seconds
+		rep.EnergyPJ = res.EnergyPJ
+		rep.ComputeEnergyPJ = res.EnergyPJ
+		return rep, nil
+	case DDRBaseline:
+		// Seeding and pre-alignment compare against MEDAL, k-mer counting
+		// against NEST, at PE-area parity with BEACON (§VI-A).
+		cfg := baseline.MEDALConfig()
+		if strings.HasPrefix(w.Name, "kmer") {
+			cfg = baseline.NESTConfig()
+		}
+		cfg.IdealComm = p.Opts.IdealComm
+		res, err := baseline.RunDDR(cfg, w.tr)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cycles = int64(res.Cycles)
+		rep.Seconds = res.Seconds()
+		rep.EnergyPJ = res.EnergyPJ()
+		rep.CommEnergyPJ = res.Energy.CommunicationPJ
+		rep.DRAMEnergyPJ = res.Energy.DRAMPJ
+		rep.ComputeEnergyPJ = res.Energy.ComputePJ
+		rep.WireBytes = res.ChannelBytes
+		rep.HostCrossings = res.HostCrossings
+		if t := res.LocalAccesses + res.RemoteAccesses; t > 0 {
+			rep.LocalFraction = float64(res.LocalAccesses) / float64(t)
+		}
+		return rep, nil
+	case BeaconD, BeaconS:
+		design := core.DesignD
+		if p.Kind == BeaconS {
+			design = core.DesignS
+		}
+		cfg := core.DefaultConfig(design, p.Opts.coreOpts())
+		res, err := core.Run(cfg, w.tr)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cycles = int64(res.Cycles)
+		rep.Seconds = res.Seconds()
+		rep.EnergyPJ = res.EnergyPJ()
+		rep.CommEnergyPJ = res.Energy.CommunicationPJ
+		rep.DRAMEnergyPJ = res.Energy.DRAMPJ
+		rep.ComputeEnergyPJ = res.Energy.ComputePJ
+		rep.WireBytes = res.Fabric.WireBytes
+		rep.HostCrossings = res.Fabric.HostCrossings
+		rep.ChipAccesses = res.CXLGChipAccesses
+		if t := res.LocalAccesses + res.RemoteAccesses; t > 0 {
+			rep.LocalFraction = float64(res.LocalAccesses) / float64(t)
+		}
+		return rep, nil
+	}
+	return nil, fmt.Errorf("beacon: unknown platform %d", int(p.Kind))
+}
+
+// SharedReport summarizes a multi-tenant (co-located) run — the §II memory
+// pooling scenario: several workloads sharing one pool's DIMMs, fabric and
+// NDP modules.
+type SharedReport struct {
+	// Combined is the whole run (its fields aggregate all tenants).
+	Combined Report
+	// Tenants lists each workload's own completion.
+	Tenants []TenantReport
+}
+
+// TenantReport is one workload's share of a co-located run.
+type TenantReport struct {
+	Workload string
+	Seconds  float64
+	Tasks    int
+}
+
+// SimulateShared replays several workloads concurrently on one BEACON
+// platform (BeaconD or BeaconS). Their tasks interleave in the task
+// schedulers and contend for the same fabric and DRAM.
+func SimulateShared(p Platform, wls []*Workload) (*SharedReport, error) {
+	if p.Kind != BeaconD && p.Kind != BeaconS {
+		return nil, fmt.Errorf("beacon: shared runs require a BEACON platform, got %v", p.Kind)
+	}
+	design := core.DesignD
+	if p.Kind == BeaconS {
+		design = core.DesignS
+	}
+	var traces []*trace.Workload
+	names := make([]string, len(wls))
+	for i, w := range wls {
+		if w == nil || w.tr == nil {
+			return nil, fmt.Errorf("beacon: nil workload at index %d", i)
+		}
+		traces = append(traces, w.tr)
+		names[i] = w.Name
+	}
+	res, err := core.RunShared(core.DefaultConfig(design, p.Opts.coreOpts()), traces)
+	if err != nil {
+		return nil, err
+	}
+	out := &SharedReport{
+		Combined: Report{
+			Platform:        p,
+			Workload:        "shared",
+			Cycles:          int64(res.Combined.Cycles),
+			Seconds:         res.Combined.Seconds(),
+			EnergyPJ:        res.Combined.EnergyPJ(),
+			CommEnergyPJ:    res.Combined.Energy.CommunicationPJ,
+			DRAMEnergyPJ:    res.Combined.Energy.DRAMPJ,
+			ComputeEnergyPJ: res.Combined.Energy.ComputePJ,
+			WireBytes:       res.Combined.Fabric.WireBytes,
+			HostCrossings:   res.Combined.Fabric.HostCrossings,
+		},
+	}
+	for i, sl := range res.PerWorkload {
+		out.Tenants = append(out.Tenants, TenantReport{
+			Workload: names[i],
+			Seconds:  float64(sl.Cycles) * 1.25e-9,
+			Tasks:    sl.Tasks,
+		})
+	}
+	return out, nil
+}
