@@ -6,6 +6,7 @@ import (
 )
 
 func TestAblationCoalesceGroup(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -31,6 +32,7 @@ func TestAblationCoalesceGroup(t *testing.T) {
 }
 
 func TestAblationLinkBandwidth(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -48,6 +50,7 @@ func TestAblationLinkBandwidth(t *testing.T) {
 }
 
 func TestAblationInFlight(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -63,6 +66,7 @@ func TestAblationInFlight(t *testing.T) {
 }
 
 func TestAblationPoolScale(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -87,6 +91,7 @@ func BenchmarkAblations(b *testing.B) {
 }
 
 func TestAblationRowPolicy(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}

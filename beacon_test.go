@@ -13,6 +13,7 @@ func quickCfg(sp Species) WorkloadConfig {
 }
 
 func TestWorkloadBuilders(t *testing.T) {
+	t.Parallel()
 	for _, app := range []Application{FMSeeding, HashSeeding, KmerCounting, PreAlignment} {
 		wl, err := NewWorkload(app, quickCfg(PinusTaeda))
 		if err != nil {
@@ -31,6 +32,7 @@ func TestWorkloadBuilders(t *testing.T) {
 }
 
 func TestWorkloadConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := quickCfg(PinusTaeda)
 	bad.Reads = 0
 	if _, err := NewFMSeedingWorkload(bad); err == nil {
@@ -53,6 +55,7 @@ func TestWorkloadConfigValidation(t *testing.T) {
 }
 
 func TestSimulateAllPlatforms(t *testing.T) {
+	t.Parallel()
 	wl, err := NewFMSeedingWorkload(quickCfg(PiceaGlauca))
 	if err != nil {
 		t.Fatalf("workload: %v", err)
@@ -88,6 +91,7 @@ func TestSimulateAllPlatforms(t *testing.T) {
 }
 
 func TestSimulateNilWorkload(t *testing.T) {
+	t.Parallel()
 	if _, err := Simulate(Platform{Kind: CPU}, nil); err == nil {
 		t.Error("nil workload accepted")
 	}
@@ -97,6 +101,7 @@ func TestSimulateNilWorkload(t *testing.T) {
 }
 
 func TestSimulateDeterministic(t *testing.T) {
+	t.Parallel()
 	wl, err := NewHashSeedingWorkload(quickCfg(PinusTaeda))
 	if err != nil {
 		t.Fatalf("workload: %v", err)
@@ -115,6 +120,7 @@ func TestSimulateDeterministic(t *testing.T) {
 }
 
 func TestLadderForShapes(t *testing.T) {
+	t.Parallel()
 	d := ladderFor(FMSeeding, BeaconD)
 	if len(d) != 5 || !strings.Contains(d[4].Name, "coalescing") {
 		t.Errorf("FM BEACON-D ladder = %v", names(d))
@@ -138,6 +144,7 @@ func names(steps []ladderStep) []string {
 }
 
 func TestTableII(t *testing.T) {
+	t.Parallel()
 	rows := TableII()
 	if len(rows) != 3 {
 		t.Fatalf("Table II has %d rows", len(rows))
@@ -155,6 +162,7 @@ func TestTableII(t *testing.T) {
 }
 
 func TestFigure3Quick(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -177,6 +185,7 @@ func TestFigure3Quick(t *testing.T) {
 }
 
 func TestFigure13Quick(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -194,6 +203,7 @@ func TestFigure13Quick(t *testing.T) {
 }
 
 func TestMEMSeedingWorkload(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg(PiceaGlauca)
 	cfg.MEMSeeding = true
 	wl, err := NewFMSeedingWorkload(cfg)

@@ -105,6 +105,7 @@ func BenchmarkOptimizationSummary(b *testing.B) {
 // TestTableIConfiguration checks that the default platform configurations
 // reproduce Table I's parameters.
 func TestTableIConfiguration(t *testing.T) {
+	t.Parallel()
 	// These constants are asserted through the internal defaults used by
 	// Simulate; the test pins them so a config drift is caught.
 	wl, err := NewFMSeedingWorkload(quickCfg(PinusTaeda))
@@ -121,6 +122,7 @@ func TestTableIConfiguration(t *testing.T) {
 
 // TestTableIIPEOverhead pins the paper's synthesis constants.
 func TestTableIIPEOverhead(t *testing.T) {
+	t.Parallel()
 	rows := TableII()
 	want := []struct {
 		arch string
@@ -139,6 +141,7 @@ func TestTableIIPEOverhead(t *testing.T) {
 // scale: the optimization stack yields a substantial speedup on both designs
 // and drives the communication energy share down.
 func TestOptimizationSummary(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("short mode")
 	}

@@ -2,11 +2,17 @@
 // evaluation section (Fig. 3, Tables I/II, Figs. 12-17, and the §VI-G
 // optimization summary) as text tables.
 //
+// The figures' simulations run as independent jobs on a bounded worker
+// pool (-jobs, default GOMAXPROCS); results merge in a fixed order, so the
+// output is byte-identical at any -jobs setting.
+//
 //	beaconbench            # full scale (minutes)
 //	beaconbench -quick     # reduced scale (tens of seconds)
+//	beaconbench -jobs 1    # exact serial execution
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +26,8 @@ func main() {
 	log.SetPrefix("beaconbench: ")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablation sweeps")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole evaluation after this long (0 = no limit)")
 	flag.Parse()
 
 	rc := beacon.DefaultRunConfig()
@@ -29,66 +37,53 @@ func main() {
 	fmt.Printf("BEACON evaluation harness (scale=%d, reads=%d)\n\n", rc.GenomeScale, rc.Reads)
 	start := time.Now()
 
+	ev, err := beacon.RunEvaluation(context.Background(), rc, beacon.EvalOptions{
+		Jobs:      *jobs,
+		Timeout:   *timeout,
+		Ablations: *ablations,
+	})
+	check(err)
+
 	section("Table II — PE synthesis results (constants from the paper)")
-	for _, row := range beacon.TableII() {
+	for _, row := range ev.TableII {
 		fmt.Printf("  %-8s area %9.2f um2   dynamic %5.2f mW   leakage %5.2f uW\n",
 			row.Architecture, row.AreaUM2, row.DynamicMW, row.LeakageUW)
 	}
 	fmt.Println()
 
 	section("Figure 3 — motivation: idealized communication on DDR NDP baselines")
-	fig3, err := beacon.Figure3(rc)
-	check(err)
-	fmt.Println(fig3)
+	fmt.Println(ev.Fig3)
 
 	section("Figure 12 — FM-index based DNA seeding")
-	d12, s12, err := beacon.Figure12(rc)
-	check(err)
-	fmt.Println(d12)
-	fmt.Println(s12)
+	fmt.Println(ev.Fig12D)
+	fmt.Println(ev.Fig12S)
 
 	section("Figure 13 — per-chip access balance (multi-chip coalescing)")
-	fig13, err := beacon.Figure13(rc)
-	check(err)
-	fmt.Println(fig13)
+	fmt.Println(ev.Fig13)
 
 	section("Figure 14 — Hash-index based DNA seeding")
-	d14, s14, err := beacon.Figure14(rc)
-	check(err)
-	fmt.Println(d14)
-	fmt.Println(s14)
+	fmt.Println(ev.Fig14D)
+	fmt.Println(ev.Fig14S)
 
 	section("Figure 15 — k-mer counting")
-	d15, s15, err := beacon.Figure15(rc)
-	check(err)
-	fmt.Println(d15)
-	fmt.Println(s15)
+	fmt.Println(ev.Fig15D)
+	fmt.Println(ev.Fig15S)
 
 	section("Figure 16 — DNA pre-alignment")
-	fig16, err := beacon.Figure16(rc)
-	check(err)
-	fmt.Println(fig16)
+	fmt.Println(ev.Fig16)
 
 	section("Figure 17 — energy breakdown")
-	for _, kind := range []beacon.PlatformKind{beacon.BeaconD, beacon.BeaconS} {
-		fig17, err := beacon.Figure17(kind, rc)
-		check(err)
-		fmt.Println(fig17)
-	}
+	fmt.Println(ev.Fig17D)
+	fmt.Println(ev.Fig17S)
 
 	section("§VI-G — optimization summary")
-	for _, kind := range []beacon.PlatformKind{beacon.BeaconD, beacon.BeaconS} {
-		sum, err := beacon.OptimizationSummary(kind, rc)
-		check(err)
-		fmt.Printf("%s\n", sum)
-	}
+	fmt.Printf("%s\n", ev.SummaryD)
+	fmt.Printf("%s\n", ev.SummaryS)
 
 	if *ablations {
 		fmt.Println()
 		section("Ablations — design-choice sweeps (beyond the paper)")
-		out, err := beacon.AllAblations(rc)
-		check(err)
-		fmt.Println(out)
+		fmt.Println(ev.Ablations)
 	}
 
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))

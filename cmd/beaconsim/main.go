@@ -1,20 +1,27 @@
-// Command beaconsim runs a single workload on a single platform and prints
-// the resulting performance/energy report.
+// Command beaconsim runs a single workload on one or more platforms and
+// prints the resulting performance/energy reports. Multiple platforms
+// (comma-separated) share one workload build and simulate concurrently on a
+// bounded pool (-jobs); reports always print in the order given.
 //
 // Examples:
 //
 //	beaconsim -app fm-seeding -species Pt -platform beacon-d
 //	beaconsim -app kmer-counting -species Hs -platform beacon-s -singlepass
 //	beaconsim -app hash-seeding -species Am -platform ddr-ndp -reads 1000
+//	beaconsim -platform cpu,ddr-ndp,beacon-d,beacon-s -jobs 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	beacon "beacon"
+	"beacon/internal/runner"
 )
 
 func main() {
@@ -24,7 +31,7 @@ func main() {
 	var (
 		app      = flag.String("app", "fm-seeding", "application: fm-seeding | hash-seeding | kmer-counting | pre-alignment")
 		species  = flag.String("species", "Pt", "dataset: Pt | Pg | Ss | Am | Nf | Hs")
-		platform = flag.String("platform", "beacon-d", "platform: cpu | ddr-ndp | beacon-d | beacon-s")
+		platform = flag.String("platform", "beacon-d", "comma-separated platforms: cpu | ddr-ndp | beacon-d | beacon-s")
 		scale    = flag.Int("scale", 30000, "genome scale (bases per relative Gbp)")
 		reads    = flag.Int("reads", 500, "read count")
 		seed     = flag.Uint64("seed", 0xBEAC07, "sampling seed")
@@ -32,6 +39,9 @@ func main() {
 		vanilla    = flag.Bool("vanilla", false, "disable all optimizations (CXL-vanilla)")
 		ideal      = flag.Bool("ideal", false, "idealized communication")
 		singlepass = flag.Bool("singlepass", false, "single-pass k-mer counting flow")
+
+		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -49,18 +59,20 @@ func main() {
 		log.Fatalf("unknown application %q", *app)
 	}
 
-	var kind beacon.PlatformKind
-	switch *platform {
-	case "cpu":
-		kind = beacon.CPU
-	case "ddr-ndp":
-		kind = beacon.DDRBaseline
-	case "beacon-d":
-		kind = beacon.BeaconD
-	case "beacon-s":
-		kind = beacon.BeaconS
-	default:
-		log.Fatalf("unknown platform %q", *platform)
+	var kinds []beacon.PlatformKind
+	for _, name := range strings.Split(*platform, ",") {
+		switch strings.TrimSpace(name) {
+		case "cpu":
+			kinds = append(kinds, beacon.CPU)
+		case "ddr-ndp":
+			kinds = append(kinds, beacon.DDRBaseline)
+		case "beacon-d":
+			kinds = append(kinds, beacon.BeaconD)
+		case "beacon-s":
+			kinds = append(kinds, beacon.BeaconS)
+		default:
+			log.Fatalf("unknown platform %q", name)
+		}
 	}
 
 	cfg := beacon.DefaultWorkloadConfig(beacon.Species(*species))
@@ -85,10 +97,38 @@ func main() {
 	if *ideal {
 		opts.IdealComm = true
 	}
-	rep, err := beacon.Simulate(beacon.Platform{Kind: kind, Opts: opts}, wl)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	simJobs := make([]runner.Job[*beacon.Report], len(kinds))
+	for i, kind := range kinds {
+		kind := kind
+		simJobs[i] = runner.Job[*beacon.Report]{
+			Label: kind.String(),
+			Fn: func(context.Context) (*beacon.Report, error) {
+				return beacon.Simulate(beacon.Platform{Kind: kind, Opts: opts}, wl)
+			},
+		}
+	}
+	start := time.Now()
+	reports, err := runner.Run(ctx, runner.NewPool(*jobs), simJobs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	for i, rep := range reports {
+		printReport(kinds[i], rep)
+	}
+	if len(kinds) > 1 {
+		fmt.Printf("simulated %d platforms in %v\n", len(kinds), time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(0)
+}
+
+func printReport(kind beacon.PlatformKind, rep *beacon.Report) {
 	fmt.Printf("platform %s:\n", kind)
 	fmt.Printf("  cycles          %d (%.3f ms)\n", rep.Cycles, rep.Seconds*1e3)
 	fmt.Printf("  energy          %.3f mJ (comm %.1f%%, DRAM %.1f%%, compute %.1f%%)\n",
@@ -100,5 +140,4 @@ func main() {
 		fmt.Printf("  wire traffic    %.2f MiB, %d host crossings\n",
 			float64(rep.WireBytes)/(1<<20), rep.HostCrossings)
 	}
-	os.Exit(0)
 }

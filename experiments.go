@@ -1,12 +1,12 @@
 package beacon
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"beacon/internal/energy"
 	"beacon/internal/report"
-	"beacon/internal/stats"
 )
 
 // RunConfig scales the evaluation harness. Larger values sharpen the
@@ -132,114 +132,11 @@ func speciesFor(app Application) []Species {
 // baselineFlow returns the flow the DDR baseline (NEST) uses.
 func baselineFlow(app Application) KmerFlow { return MultiPass }
 
-// runLadder executes a full ladder figure.
+// runLadder executes a full ladder figure on a fresh single-evaluation
+// orchestrator (kept for the benchmark harness; figure functions share an
+// Evaluator instead).
 func runLadder(app Application, kind PlatformKind, rc RunConfig) (*LadderFigure, error) {
-	speciesList := speciesFor(app)
-	steps := ladderFor(app, kind)
-	fig := &LadderFigure{App: app, Kind: kind, Species: speciesList}
-	for _, s := range steps {
-		fig.Steps = append(fig.Steps, s.Name)
-	}
-
-	type perSpecies struct {
-		cpu    *Report
-		ddr    *Report
-		ladder []*Report
-		ideal  *Report
-	}
-	all := make([]perSpecies, len(speciesList))
-
-	defaultFlow := MultiPass // D and the baselines count multi-pass
-	for si, sp := range speciesList {
-		wlDefault, err := rc.buildWorkload(app, sp, defaultFlow)
-		if err != nil {
-			return nil, err
-		}
-		// The CPU software is single-pass-equivalent (BFCounter reads input
-		// once); normalize against the single-pass trace for k-mer counting.
-		cpuWL := wlDefault
-		if app == KmerCounting {
-			if cpuWL, err = rc.buildWorkload(app, sp, SinglePass); err != nil {
-				return nil, err
-			}
-		}
-		cpu, err := Simulate(Platform{Kind: CPU}, cpuWL)
-		if err != nil {
-			return nil, err
-		}
-		ddr, err := Simulate(Platform{Kind: DDRBaseline}, wlDefault)
-		if err != nil {
-			return nil, err
-		}
-		ps := perSpecies{cpu: cpu, ddr: ddr}
-		for _, st := range steps {
-			wl := wlDefault
-			if app == KmerCounting && st.Flow == SinglePass {
-				if wl, err = rc.buildWorkload(app, sp, SinglePass); err != nil {
-					return nil, err
-				}
-			}
-			rep, err := Simulate(Platform{Kind: kind, Opts: st.Opts}, wl)
-			if err != nil {
-				return nil, err
-			}
-			ps.ladder = append(ps.ladder, rep)
-		}
-		// Ideal uses the final step's workload and options plus IdealComm.
-		idealOpts := steps[len(steps)-1].Opts
-		idealOpts.IdealComm = true
-		idealWL := wlDefault
-		if app == KmerCounting && steps[len(steps)-1].Flow == SinglePass {
-			if idealWL, err = rc.buildWorkload(app, sp, SinglePass); err != nil {
-				return nil, err
-			}
-		}
-		ideal, err := Simulate(Platform{Kind: kind, Opts: idealOpts}, idealWL)
-		if err != nil {
-			return nil, err
-		}
-		ps.ideal = ideal
-		all[si] = ps
-	}
-
-	// Populate entries and aggregates.
-	for stepIdx, stepName := range fig.Steps {
-		var perfs, energies []float64
-		for si, sp := range speciesList {
-			rep := all[si].ladder[stepIdx]
-			perf := all[si].cpu.Seconds / rep.Seconds
-			en := all[si].cpu.EnergyPJ / rep.EnergyPJ
-			fig.Entries = append(fig.Entries, LadderEntry{
-				Step: stepName, Species: sp,
-				PerfVsCPU: perf, EnergyVsCPU: en,
-				CommEnergyRatio: rep.CommEnergyRatio(),
-			})
-			perfs = append(perfs, perf)
-			energies = append(energies, en)
-		}
-		fig.GeoPerfVsCPU = append(fig.GeoPerfVsCPU, stats.MustGeoMean(perfs))
-		fig.GeoEnergyVsCPU = append(fig.GeoEnergyVsCPU, stats.MustGeoMean(energies))
-	}
-	for i := 1; i < len(fig.GeoPerfVsCPU); i++ {
-		fig.StepGains = append(fig.StepGains, fig.GeoPerfVsCPU[i]/fig.GeoPerfVsCPU[i-1])
-	}
-
-	var vsBasePerf, vsBaseEnergy, vanVsBase, pctIdeal, pctIdealEnergy []float64
-	last := len(fig.Steps) - 1
-	for si := range speciesList {
-		fin := all[si].ladder[last]
-		vsBasePerf = append(vsBasePerf, all[si].ddr.Seconds/fin.Seconds)
-		vsBaseEnergy = append(vsBaseEnergy, all[si].ddr.EnergyPJ/fin.EnergyPJ)
-		vanVsBase = append(vanVsBase, all[si].ddr.Seconds/all[si].ladder[0].Seconds)
-		pctIdeal = append(pctIdeal, all[si].ideal.Seconds/fin.Seconds)
-		pctIdealEnergy = append(pctIdealEnergy, all[si].ideal.EnergyPJ/fin.EnergyPJ)
-	}
-	fig.VsBaselinePerf = stats.MustGeoMean(vsBasePerf)
-	fig.VsBaselineEnergy = stats.MustGeoMean(vsBaseEnergy)
-	fig.VanillaVsBaselinePerf = stats.MustGeoMean(vanVsBase)
-	fig.PctOfIdealPerf = stats.MustGeoMean(pctIdeal)
-	fig.PctOfIdealEnergy = stats.MustGeoMean(pctIdealEnergy)
-	return fig, nil
+	return NewEvaluator(rc, 0).runLadder(context.Background(), app, kind)
 }
 
 // String renders the figure as text tables.
@@ -277,36 +174,21 @@ func (f *LadderFigure) String() string {
 }
 
 // Figure12 reproduces the FM-index seeding evaluation for both designs.
+// It (and every figure function below) runs its simulations on a
+// GOMAXPROCS-wide worker pool; use an Evaluator directly to control the
+// pool width, share workload caches across figures, or attach a timeout.
 func Figure12(rc RunConfig) (d, s *LadderFigure, err error) {
-	if d, err = runLadder(FMSeeding, BeaconD, rc); err != nil {
-		return nil, nil, err
-	}
-	if s, err = runLadder(FMSeeding, BeaconS, rc); err != nil {
-		return nil, nil, err
-	}
-	return d, s, nil
+	return NewEvaluator(rc, 0).Figure12(context.Background())
 }
 
 // Figure14 reproduces the hash-index seeding evaluation.
 func Figure14(rc RunConfig) (d, s *LadderFigure, err error) {
-	if d, err = runLadder(HashSeeding, BeaconD, rc); err != nil {
-		return nil, nil, err
-	}
-	if s, err = runLadder(HashSeeding, BeaconS, rc); err != nil {
-		return nil, nil, err
-	}
-	return d, s, nil
+	return NewEvaluator(rc, 0).Figure14(context.Background())
 }
 
 // Figure15 reproduces the k-mer counting evaluation.
 func Figure15(rc RunConfig) (d, s *LadderFigure, err error) {
-	if d, err = runLadder(KmerCounting, BeaconD, rc); err != nil {
-		return nil, nil, err
-	}
-	if s, err = runLadder(KmerCounting, BeaconS, rc); err != nil {
-		return nil, nil, err
-	}
-	return d, s, nil
+	return NewEvaluator(rc, 0).Figure15(context.Background())
 }
 
 // Fig3Row is one workload of Fig. 3.
@@ -327,46 +209,7 @@ type Figure3Result struct {
 // Figure3 measures how much idealized communication would speed up the
 // previous DDR-DIMM accelerators — the paper's motivation experiment.
 func Figure3(rc RunConfig) (*Figure3Result, error) {
-	out := &Figure3Result{}
-	var perfs, energies []float64
-	run := func(app Application, sp Species) error {
-		wl, err := rc.buildWorkload(app, sp, baselineFlow(app))
-		if err != nil {
-			return err
-		}
-		real, err := Simulate(Platform{Kind: DDRBaseline}, wl)
-		if err != nil {
-			return err
-		}
-		ideal, err := Simulate(Platform{Kind: DDRBaseline, Opts: Options{IdealComm: true}}, wl)
-		if err != nil {
-			return err
-		}
-		row := Fig3Row{
-			Workload:   fmt.Sprintf("%s/%s", app, sp),
-			PerfGain:   real.Seconds / ideal.Seconds,
-			EnergyGain: real.EnergyPJ / ideal.EnergyPJ,
-		}
-		out.Rows = append(out.Rows, row)
-		perfs = append(perfs, row.PerfGain)
-		energies = append(energies, row.EnergyGain)
-		return nil
-	}
-	for _, sp := range AllSeedingSpecies() {
-		if err := run(FMSeeding, sp); err != nil {
-			return nil, err
-		}
-		if err := run(HashSeeding, sp); err != nil {
-			return nil, err
-		}
-	}
-	if err := run(KmerCounting, Human); err != nil {
-		return nil, err
-	}
-	// The paper reports plain averages for Fig. 3.
-	out.AvgPerf = stats.Mean(perfs)
-	out.AvgEnergy = stats.Mean(energies)
-	return out, nil
+	return NewEvaluator(rc, 0).Figure3(context.Background())
 }
 
 // String renders Fig. 3.
@@ -392,38 +235,7 @@ type Figure13Result struct {
 // Figure13 measures per-chip access balance on the CXLG-DIMMs for FM-index
 // seeding, without and with multi-chip coalescing (Fig. 11/13).
 func Figure13(rc RunConfig) (*Figure13Result, error) {
-	wl, err := rc.buildWorkload(FMSeeding, PinusTaeda, MultiPass)
-	if err != nil {
-		return nil, err
-	}
-	placed := Options{DataPacking: true, MemAccessOpt: true, Placement: true}
-	without, err := Simulate(Platform{Kind: BeaconD, Opts: placed}, wl)
-	if err != nil {
-		return nil, err
-	}
-	with, err := Simulate(Platform{Kind: BeaconD, Opts: AllOptimizations()}, wl)
-	if err != nil {
-		return nil, err
-	}
-	norm := func(xs []uint64) ([]float64, float64) {
-		fs := make([]float64, len(xs))
-		for i, x := range xs {
-			fs[i] = float64(x)
-		}
-		mean := stats.Mean(fs)
-		if mean == 0 {
-			return fs, 0
-		}
-		out := make([]float64, len(fs))
-		for i := range fs {
-			out[i] = fs[i] / mean
-		}
-		return out, stats.CoefVar(fs)
-	}
-	res := &Figure13Result{}
-	res.WithoutCoalescing, res.CVWithout = norm(without.ChipAccesses)
-	res.WithCoalescing, res.CVWith = norm(with.ChipAccesses)
-	return res, nil
+	return NewEvaluator(rc, 0).Figure13(context.Background())
 }
 
 // String renders Fig. 13.
@@ -450,34 +262,7 @@ type Figure16Result struct {
 
 // Figure16 runs DNA pre-alignment on both designs with full optimizations.
 func Figure16(rc RunConfig) (*Figure16Result, error) {
-	out := &Figure16Result{Species: AllSeedingSpecies()}
-	for _, sp := range out.Species {
-		wl, err := rc.buildWorkload(PreAlignment, sp, MultiPass)
-		if err != nil {
-			return nil, err
-		}
-		cpu, err := Simulate(Platform{Kind: CPU}, wl)
-		if err != nil {
-			return nil, err
-		}
-		d, err := Simulate(Platform{Kind: BeaconD, Opts: finalOptions(PreAlignment, BeaconD)}, wl)
-		if err != nil {
-			return nil, err
-		}
-		s, err := Simulate(Platform{Kind: BeaconS, Opts: finalOptions(PreAlignment, BeaconS)}, wl)
-		if err != nil {
-			return nil, err
-		}
-		out.PerfD = append(out.PerfD, cpu.Seconds/d.Seconds)
-		out.PerfS = append(out.PerfS, cpu.Seconds/s.Seconds)
-		out.EnergyD = append(out.EnergyD, cpu.EnergyPJ/d.EnergyPJ)
-		out.EnergyS = append(out.EnergyS, cpu.EnergyPJ/s.EnergyPJ)
-	}
-	out.GeoPerfD = stats.MustGeoMean(out.PerfD)
-	out.GeoPerfS = stats.MustGeoMean(out.PerfS)
-	out.GeoEnergyD = stats.MustGeoMean(out.EnergyD)
-	out.GeoEnergyS = stats.MustGeoMean(out.EnergyS)
-	return out, nil
+	return NewEvaluator(rc, 0).Figure16(context.Background())
 }
 
 // String renders Fig. 16.
@@ -509,42 +294,7 @@ type Figure17Result struct {
 // Figure17 measures the energy breakdown along the ladder, averaged over
 // the four applications (one representative dataset each).
 func Figure17(kind PlatformKind, rc RunConfig) (*Figure17Result, error) {
-	apps := []Application{FMSeeding, HashSeeding, KmerCounting, PreAlignment}
-	// Use the longest ladder's step names; shorter ladders clamp to final.
-	maxSteps := []string{"CXL-vanilla", "+data packing", "+mem access opt", "+placement/mapping", "+app-specific"}
-	out := &Figure17Result{Kind: kind, Steps: maxSteps}
-	sums := make([]energy.Breakdown, len(maxSteps))
-	for _, app := range apps {
-		sp := speciesFor(app)[0]
-		steps := ladderFor(app, kind)
-		for i := range maxSteps {
-			st := steps[min(i, len(steps)-1)]
-			flow := MultiPass
-			if app == KmerCounting && st.Flow == SinglePass {
-				flow = SinglePass
-			}
-			wl, err := rc.buildWorkload(app, sp, flow)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := Simulate(Platform{Kind: kind, Opts: st.Opts}, wl)
-			if err != nil {
-				return nil, err
-			}
-			sums[i].Add(energy.Breakdown{
-				CommunicationPJ: rep.CommEnergyPJ / rep.EnergyPJ,
-				DRAMPJ:          rep.DRAMEnergyPJ / rep.EnergyPJ,
-				ComputePJ:       rep.ComputeEnergyPJ / rep.EnergyPJ,
-			})
-		}
-	}
-	for i := range maxSteps {
-		n := float64(len(apps))
-		out.CommRatio = append(out.CommRatio, sums[i].CommunicationPJ/n)
-		out.DRAMRatio = append(out.DRAMRatio, sums[i].DRAMPJ/n)
-		out.ComputeRatio = append(out.ComputeRatio, sums[i].ComputePJ/n)
-	}
-	return out, nil
+	return NewEvaluator(rc, 0).Figure17(context.Background(), kind)
 }
 
 // String renders Fig. 17.
@@ -578,43 +328,7 @@ type OptSummary struct {
 // OptimizationSummary aggregates the ladder gains across all four
 // applications for one design.
 func OptimizationSummary(kind PlatformKind, rc RunConfig) (*OptSummary, error) {
-	apps := []Application{FMSeeding, HashSeeding, KmerCounting, PreAlignment}
-	var perfs, energies, before, after []float64
-	for _, app := range apps {
-		sp := speciesFor(app)[0]
-		steps := ladderFor(app, kind)
-		first, last := steps[0], steps[len(steps)-1]
-		runStep := func(st ladderStep) (*Report, error) {
-			flow := MultiPass
-			if app == KmerCounting && st.Flow == SinglePass {
-				flow = SinglePass
-			}
-			wl, err := rc.buildWorkload(app, sp, flow)
-			if err != nil {
-				return nil, err
-			}
-			return Simulate(Platform{Kind: kind, Opts: st.Opts}, wl)
-		}
-		v, err := runStep(first)
-		if err != nil {
-			return nil, err
-		}
-		f, err := runStep(last)
-		if err != nil {
-			return nil, err
-		}
-		perfs = append(perfs, v.Seconds/f.Seconds)
-		energies = append(energies, v.EnergyPJ/f.EnergyPJ)
-		before = append(before, v.CommEnergyRatio())
-		after = append(after, f.CommEnergyRatio())
-	}
-	return &OptSummary{
-		Kind:       kind,
-		PerfGain:   stats.MustGeoMean(perfs),
-		EnergyGain: stats.MustGeoMean(energies),
-		CommBefore: stats.Mean(before),
-		CommAfter:  stats.Mean(after),
-	}, nil
+	return NewEvaluator(rc, 0).OptimizationSummary(context.Background(), kind)
 }
 
 // String renders the summary.
@@ -622,11 +336,4 @@ func (s *OptSummary) String() string {
 	return fmt.Sprintf("%s optimizations: %s perf, %s energy; communication energy %s -> %s",
 		s.Kind, report.FormatRatio(s.PerfGain), report.FormatRatio(s.EnergyGain),
 		report.FormatPercent(s.CommBefore), report.FormatPercent(s.CommAfter))
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

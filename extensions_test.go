@@ -3,6 +3,7 @@ package beacon
 import "testing"
 
 func TestGraphWorkload(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultGraphWorkloadConfig()
 	cfg.Vertices = 2000
 	wl, err := NewGraphWorkload(cfg)
@@ -27,6 +28,7 @@ func TestGraphWorkload(t *testing.T) {
 }
 
 func TestDBSearchWorkload(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultDBSearchWorkloadConfig()
 	cfg.Keys = 4096
 	cfg.Queries = 500
@@ -58,6 +60,7 @@ func TestDBSearchWorkload(t *testing.T) {
 }
 
 func TestImageWorkload(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultImageWorkloadConfig()
 	cfg.Width, cfg.Height = 256, 256
 	wl, err := NewImageWorkload(cfg)
@@ -81,6 +84,7 @@ func TestImageWorkload(t *testing.T) {
 }
 
 func TestSimulateWithAllocation(t *testing.T) {
+	t.Parallel()
 	wl, err := NewFMSeedingWorkload(quickCfg(PinusTaeda))
 	if err != nil {
 		t.Fatal(err)

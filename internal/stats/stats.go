@@ -18,8 +18,9 @@ func GeoMean(xs []float64) (float64, error) {
 	}
 	sum := 0.0
 	for _, x := range xs {
-		if x <= 0 {
-			return 0, fmt.Errorf("stats: geomean requires positive values, got %g", x)
+		// NaN fails no ordering comparison, so test it explicitly.
+		if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+			return 0, fmt.Errorf("stats: geomean requires positive finite values, got %g", x)
 		}
 		sum += math.Log(x)
 	}
@@ -98,10 +99,13 @@ func Percentile(xs []float64, p float64) float64 {
 }
 
 // Speedup returns base/new — how many times faster `new` is than `base`
-// when both are durations/costs. It panics on non-positive inputs.
+// when both are durations/costs. It panics on non-positive, NaN, or
+// infinite inputs: a cost that is not a positive finite number means a
+// simulation produced garbage, and dividing would silently launder it
+// into a plausible-looking ratio.
 func Speedup(baseCost, newCost float64) float64 {
-	if baseCost <= 0 || newCost <= 0 {
-		panic(fmt.Sprintf("stats: speedup of non-positive costs %g/%g", baseCost, newCost))
+	if !(baseCost > 0) || !(newCost > 0) || math.IsInf(baseCost, 1) || math.IsInf(newCost, 1) {
+		panic(fmt.Sprintf("stats: speedup of non-positive or non-finite costs %g/%g", baseCost, newCost))
 	}
 	return baseCost / newCost
 }

@@ -9,6 +9,7 @@ import (
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
 func TestGeoMean(t *testing.T) {
+	t.Parallel()
 	g, err := GeoMean([]float64{2, 8})
 	if err != nil || !almost(g, 4) {
 		t.Errorf("GeoMean(2,8) = %g, %v", g, err)
@@ -26,9 +27,21 @@ func TestGeoMean(t *testing.T) {
 	if _, err := GeoMean([]float64{1, -2}); err == nil {
 		t.Error("negative value accepted")
 	}
+	// NaN compares false against everything, so it would slip through a
+	// plain x <= 0 check and poison the whole mean.
+	if _, err := GeoMean([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := GeoMean([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("+Inf accepted")
+	}
+	if _, err := GeoMean([]float64{1, math.Inf(-1)}); err == nil {
+		t.Error("-Inf accepted")
+	}
 }
 
 func TestMustGeoMeanPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -39,6 +52,7 @@ func TestMustGeoMeanPanics(t *testing.T) {
 
 // Property: geomean lies between min and max of the inputs.
 func TestGeoMeanBoundedProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {
 			return true
@@ -59,6 +73,7 @@ func TestGeoMeanBoundedProperty(t *testing.T) {
 }
 
 func TestMeanStdDev(t *testing.T) {
+	t.Parallel()
 	if Mean(nil) != 0 {
 		t.Error("Mean(nil) != 0")
 	}
@@ -77,6 +92,7 @@ func TestMeanStdDev(t *testing.T) {
 }
 
 func TestCoefVar(t *testing.T) {
+	t.Parallel()
 	if CoefVar([]float64{0, 0}) != 0 {
 		t.Error("zero-mean CV != 0")
 	}
@@ -86,6 +102,7 @@ func TestCoefVar(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
+	t.Parallel()
 	xs := []float64{5, 1, 3, 2, 4}
 	if Percentile(nil, 50) != 0 {
 		t.Error("empty percentile != 0")
@@ -113,13 +130,22 @@ func TestPercentile(t *testing.T) {
 }
 
 func TestSpeedup(t *testing.T) {
+	t.Parallel()
 	if !almost(Speedup(10, 2), 5) {
 		t.Error("Speedup(10,2) != 5")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for non-positive cost")
-		}
-	}()
-	Speedup(0, 1)
+	for _, tc := range [][2]float64{
+		{0, 1}, {1, 0}, {-1, 1}, {1, -1},
+		{math.NaN(), 1}, {1, math.NaN()},
+		{math.Inf(1), 1}, {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Speedup(%g, %g) did not panic", tc[0], tc[1])
+				}
+			}()
+			Speedup(tc[0], tc[1])
+		}()
+	}
 }
