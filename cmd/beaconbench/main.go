@@ -9,6 +9,12 @@
 //	beaconbench            # full scale (minutes)
 //	beaconbench -quick     # reduced scale (tens of seconds)
 //	beaconbench -jobs 1    # exact serial execution
+//
+// Observability (all observation-only — figures are byte-identical):
+//
+//	beaconbench -quick -progress                  # live per-job log on stderr
+//	beaconbench -quick -metrics m.json -trace t.json
+//	beaconbench -version                          # build identity
 package main
 
 import (
@@ -19,6 +25,9 @@ import (
 	"time"
 
 	beacon "beacon"
+	"beacon/internal/cliutil"
+	"beacon/internal/obs"
+	"beacon/internal/report"
 )
 
 func main() {
@@ -28,21 +37,43 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablation sweeps")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole evaluation after this long (0 = no limit)")
+	// A full evaluation fans out hundreds of jobs; keep per-job traces
+	// small so the merged timeline stays loadable (-tracecap raises it).
+	of := cliutil.Register(2048)
 	flag.Parse()
+	of.HandleVersion()
 
 	rc := beacon.DefaultRunConfig()
 	if *quick {
 		rc = beacon.QuickRunConfig()
 	}
+	fmt.Println(obs.NewProvenance(rc, rc.Seed).Header(0))
 	fmt.Printf("BEACON evaluation harness (scale=%d, reads=%d)\n\n", rc.GenomeScale, rc.Reads)
 	start := time.Now()
 
+	stopProfiles, err := of.StartProfiles()
+	check(err)
+	defer stopProfiles()
+
+	col := of.Collection()
 	ev, err := beacon.RunEvaluation(context.Background(), rc, beacon.EvalOptions{
 		Jobs:      *jobs,
 		Timeout:   *timeout,
 		Ablations: *ablations,
+		Progress:  of.ProgressWriter(),
+		Obs:       col,
 	})
-	check(err)
+	if err != nil {
+		// Dump whatever observability accumulated before the failure, then
+		// exit non-zero with the failing job's identity in the error.
+		of.WriteOutputs(col)
+		stopProfiles()
+		log.Fatal(err)
+	}
+	if err := of.WriteOutputs(col); err != nil {
+		stopProfiles()
+		log.Fatal(err)
+	}
 
 	section("Table II — PE synthesis results (constants from the paper)")
 	for _, row := range ev.TableII {
@@ -86,7 +117,14 @@ func main() {
 		fmt.Println(ev.Ablations)
 	}
 
-	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println()
+	section("Run provenance")
+	fmt.Print(report.KV("",
+		[2]string{"build", ev.Provenance.Build.String()},
+		[2]string{"config", ev.Provenance.ConfigHash},
+		[2]string{"seed", fmt.Sprintf("0x%X", ev.Provenance.Seed)},
+		[2]string{"wall", time.Since(start).Round(time.Millisecond).String()},
+	))
 }
 
 func section(title string) {

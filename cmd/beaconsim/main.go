@@ -9,6 +9,11 @@
 //	beaconsim -app kmer-counting -species Hs -platform beacon-s -singlepass
 //	beaconsim -app hash-seeding -species Am -platform ddr-ndp -reads 1000
 //	beaconsim -platform cpu,ddr-ndp,beacon-d,beacon-s -jobs 4
+//
+// Observability (all observation-only — reports are byte-identical):
+//
+//	beaconsim -platform beacon-d -metrics m.json -trace t.json -sample 10000
+//	beaconsim -version
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"time"
 
 	beacon "beacon"
+	"beacon/internal/cliutil"
+	"beacon/internal/obs"
 	"beacon/internal/runner"
 )
 
@@ -43,7 +50,10 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
+	// One (or a handful of) simulations: default to full timelines.
+	of := cliutil.Register(obs.DefaultTraceCap)
 	flag.Parse()
+	of.HandleVersion()
 
 	var a beacon.Application
 	switch *app {
@@ -83,6 +93,8 @@ func main() {
 		cfg.Flow = beacon.SinglePass
 	}
 
+	fmt.Println(obs.NewProvenance(cfg, cfg.Seed).Header(0))
+
 	wl, err := beacon.NewWorkload(a, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -104,19 +116,30 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	stopProfiles, err := of.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := of.Collection()
+	pool := runner.NewPool(*jobs)
+	of.ObservePool(pool)
+
 	simJobs := make([]runner.Job[*beacon.Report], len(kinds))
 	for i, kind := range kinds {
 		kind := kind
+		label := fmt.Sprintf("%s/%s/%s", wl.Name, kind, optsName(*vanilla, *ideal))
 		simJobs[i] = runner.Job[*beacon.Report]{
-			Label: kind.String(),
+			Label: label,
 			Fn: func(context.Context) (*beacon.Report, error) {
-				return beacon.Simulate(beacon.Platform{Kind: kind, Opts: opts}, wl)
+				return beacon.SimulateObserved(beacon.Platform{Kind: kind, Opts: opts}, wl, col.New(label))
 			},
 		}
 	}
 	start := time.Now()
-	reports, err := runner.Run(ctx, runner.NewPool(*jobs), simJobs)
+	reports, err := runner.Run(ctx, pool, simJobs)
 	if err != nil {
+		of.WriteOutputs(col)
+		stopProfiles()
 		log.Fatal(err)
 	}
 	for i, rep := range reports {
@@ -125,7 +148,25 @@ func main() {
 	if len(kinds) > 1 {
 		fmt.Printf("simulated %d platforms in %v\n", len(kinds), time.Since(start).Round(time.Millisecond))
 	}
+	if err := of.WriteOutputs(col); err != nil {
+		stopProfiles()
+		log.Fatal(err)
+	}
+	stopProfiles()
 	os.Exit(0)
+}
+
+// optsName names the optimization position for job labels.
+func optsName(vanilla, ideal bool) string {
+	switch {
+	case vanilla && ideal:
+		return "vanilla-ideal"
+	case vanilla:
+		return "vanilla"
+	case ideal:
+		return "ideal"
+	}
+	return "optimized"
 }
 
 func printReport(kind beacon.PlatformKind, rep *beacon.Report) {

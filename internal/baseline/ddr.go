@@ -19,6 +19,7 @@ import (
 	"beacon/internal/energy"
 	"beacon/internal/memmgmt"
 	"beacon/internal/ndp"
+	"beacon/internal/obs"
 	"beacon/internal/sim"
 	"beacon/internal/trace"
 )
@@ -64,6 +65,9 @@ type DDRConfig struct {
 	DRAMEnergy dram.EnergyModel
 	// MaxEvents is the livelock backstop (0 = derived).
 	MaxEvents uint64
+	// Obs, when non-nil, attaches the observability layer (see core.Config).
+	// Observation-only: cycle counts are identical with Obs set or nil.
+	Obs *obs.Obs
 }
 
 // DefaultDDRConfig returns the Table I MEDAL/NEST platform.
@@ -165,6 +169,7 @@ type DDRMachine struct {
 	modules []*ndp.Module // one NDP module per accelerator DIMM
 	chanBus []*sim.Pipe   // per channel, half duplex shared
 	host    *sim.Pipe
+	ob      *obs.Obs
 	stats   struct {
 		channelBytes  uint64
 		hostCrossings uint64
@@ -230,7 +235,39 @@ func NewDDRMachine(cfg DDRConfig) (*DDRMachine, error) {
 		m.host = sim.NewPipeN("hostbridge", cfg.HostBridgeBytesPerCycle,
 			sim.Cycles(cfg.HostLatencyCycles), cfg.Channels)
 	}
+	m.instrument(cfg.Obs)
 	return m, nil
+}
+
+// instrument attaches the observability layer; observation-only.
+func (m *DDRMachine) instrument(ob *obs.Obs) {
+	if ob == nil {
+		return
+	}
+	m.ob = ob
+	reg := ob.Registry()
+	reg.Gauge("engine.pending_events", func() float64 { return float64(m.engine.Pending()) })
+	reg.Gauge("engine.executed_events", func() float64 { return float64(m.engine.Executed()) })
+	reg.Gauge("ddr.channel_bytes", func() float64 { return float64(m.stats.channelBytes) })
+	reg.Gauge("ddr.host_crossings", func() float64 { return float64(m.stats.hostCrossings) })
+	for _, row := range m.dimms {
+		for _, d := range row {
+			d.Instrument(ob)
+		}
+	}
+	for _, mod := range m.modules {
+		mod.Instrument(ob)
+	}
+	tr := ob.Tracer()
+	for _, bus := range m.chanBus {
+		bus.Instrument(tr, "xfer")
+		b := bus
+		reg.Gauge("ddr."+b.Name()+".busy_cycles", func() float64 { return float64(b.BusyCycles()) })
+	}
+	if m.host != nil {
+		m.host.Instrument(tr, "xfer")
+		reg.Gauge("ddr.hostbridge.busy_cycles", func() float64 { return float64(m.host.BusyCycles()) })
+	}
 }
 
 // wire64 rounds a payload to DDR burst granularity.
@@ -294,6 +331,14 @@ func (m *DDRMachine) Run(wl *trace.Workload) (*Result, error) {
 	m.engine.MaxEvents = m.cfg.MaxEvents
 	if m.engine.MaxEvents == 0 {
 		m.engine.MaxEvents = uint64(wl.TotalSteps())*64 + 1<<20
+	}
+	if m.ob != nil {
+		m.engine.OnAdvance = func(now sim.Cycle) { m.ob.MaybeSample(int64(now)) }
+		reg := m.ob.Registry()
+		reg.Gauge("ddr.tasks_completed", func() float64 { return float64(res.Tasks) })
+		reg.Gauge("ddr.steps_completed", func() float64 { return float64(res.Steps) })
+		reg.Gauge("ddr.local_accesses", func() float64 { return float64(res.LocalAccesses) })
+		reg.Gauge("ddr.remote_accesses", func() float64 { return float64(res.RemoteAccesses) })
 	}
 
 	dimmAt := func(n cxl.NodeID) *dram.DIMM { return m.dimms[n.Switch][n.Slot] }
@@ -415,6 +460,9 @@ func (m *DDRMachine) Run(wl *trace.Workload) (*Result, error) {
 	if res.Tasks != len(wl.Tasks) {
 		return nil, fmt.Errorf("baseline: completed %d of %d tasks", res.Tasks, len(wl.Tasks))
 	}
+	// Final registry snapshot at the makespan, so even SampleEvery==0 runs
+	// dump end-of-run metrics.
+	m.ob.Sample(int64(end))
 
 	res.Cycles = end
 	var peBusy sim.Cycles

@@ -1,0 +1,182 @@
+// Package cliutil holds the observability plumbing shared by the beacon
+// commands: the -version banner, the -metrics/-trace output files, the
+// -progress job log, and the -cpuprofile/-memprofile pprof flags. It keeps
+// the two CLIs' flag surfaces identical without either importing the other.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+
+	"beacon/internal/obs"
+	"beacon/internal/runner"
+)
+
+// Flags is the shared observability flag set.
+type Flags struct {
+	// Version prints build information and exits.
+	Version bool
+	// Metrics is the metrics output path ("" = off). A ".csv" suffix
+	// selects CSV, anything else JSON.
+	Metrics string
+	// Trace is the Chrome trace_event JSON output path ("" = off).
+	Trace string
+	// Progress streams one line per finished simulation job to stderr.
+	Progress bool
+	// Sample is the metrics snapshot interval in simulated cycles
+	// (0 = final snapshot only).
+	Sample int64
+	// TraceCap bounds recorded trace events per simulation job; overflow
+	// is dropped and counted in the job's obs.trace_dropped metric.
+	TraceCap int
+	// CPUProfile / MemProfile are pprof output paths ("" = off).
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the shared flags on the default flag set; call before
+// flag.Parse. traceCap is the command's default per-job trace event bound:
+// commands that run one or a few simulations want a large cap (full
+// timelines), commands that fan out hundreds of jobs want a small one so
+// the merged trace stays loadable in a viewer.
+func Register(traceCap int) *Flags {
+	f := &Flags{}
+	flag.BoolVar(&f.Version, "version", false, "print build information and exit")
+	flag.StringVar(&f.Metrics, "metrics", "", "write per-job metrics to `file` (.csv for CSV, else JSON)")
+	flag.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON timeline to `file` (open at https://ui.perfetto.dev)")
+	flag.BoolVar(&f.Progress, "progress", false, "stream per-job progress lines to stderr")
+	flag.Int64Var(&f.Sample, "sample", 0, "metrics snapshot interval in simulated `cycles` (0 = final snapshot only)")
+	flag.IntVar(&f.TraceCap, "tracecap", traceCap, "max trace `events` recorded per simulation job")
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file`")
+	return f
+}
+
+// HandleVersion prints the build banner and exits when -version was given.
+// Call right after flag.Parse.
+func (f *Flags) HandleVersion() {
+	if !f.Version {
+		return
+	}
+	fmt.Println(obs.ReadBuildInfo())
+	os.Exit(0)
+}
+
+// Collection returns a fresh obs collection when -metrics or -trace was
+// requested, nil otherwise (nil disables all instrumentation).
+func (f *Flags) Collection() *obs.Collection {
+	if f.Metrics == "" && f.Trace == "" {
+		return nil
+	}
+	return &obs.Collection{SampleEvery: f.Sample, TraceCap: f.TraceCap}
+}
+
+// ProgressWriter returns the -progress destination (nil when off).
+func (f *Flags) ProgressWriter() io.Writer {
+	if !f.Progress {
+		return nil
+	}
+	return os.Stderr
+}
+
+// ObservePool installs a -progress observer on the pool (no-op when off).
+func (f *Flags) ObservePool(pool *runner.Pool) {
+	w := f.ProgressWriter()
+	if w == nil {
+		return
+	}
+	var mu sync.Mutex
+	done := 0
+	pool.SetObserver(func(ev runner.JobEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if ev.Err != nil {
+			fmt.Fprintf(w, "[%4d] FAIL %-48s %9s  %v\n", done, ev.Label, ev.Wall, ev.Err)
+			return
+		}
+		fmt.Fprintf(w, "[%4d] done %-48s %9s\n", done, ev.Label, ev.Wall)
+	})
+}
+
+// StartProfiles begins CPU profiling when requested and returns a stop
+// function that finishes the CPU profile and writes the heap profile. The
+// stop function is idempotent and safe to call when profiling is off.
+func (f *Flags) StartProfiles() (func(), error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		fh, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fh.Close()
+			return nil, err
+		}
+		cpuFile = fh
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.MemProfile != "" {
+			fh, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // flush allocations so the heap profile is current
+			if err := pprof.WriteHeapProfile(fh); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			fh.Close()
+		}
+	}, nil
+}
+
+// WriteOutputs dumps the collection to the -metrics and -trace files.
+func (f *Flags) WriteOutputs(col *obs.Collection) error {
+	if col == nil {
+		return nil
+	}
+	if f.Metrics != "" {
+		if err := writeFile(f.Metrics, func(w io.Writer) error {
+			if strings.HasSuffix(f.Metrics, ".csv") {
+				return col.WriteMetricsCSV(w)
+			}
+			return col.WriteMetricsJSON(w)
+		}); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		if err := writeFile(f.Trace, col.WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

@@ -20,6 +20,7 @@ import (
 	"beacon/internal/dram"
 	"beacon/internal/energy"
 	"beacon/internal/memmgmt"
+	"beacon/internal/obs"
 )
 
 // Design selects where computation happens.
@@ -122,6 +123,12 @@ type Config struct {
 	InFlightPerNode int
 	// MaxEvents bounds the event count as a livelock backstop (0 = default).
 	MaxEvents uint64
+	// Obs, when non-nil, attaches the observability layer: component
+	// metrics registered in its registry, activity spans on its tracer, and
+	// periodic registry snapshots driven by the engine's time-advance hook.
+	// Instrumentation is observation-only — cycle counts are byte-identical
+	// with Obs set or nil.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns the Table I configuration for the given design with

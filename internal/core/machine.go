@@ -8,6 +8,7 @@ import (
 	"beacon/internal/energy"
 	"beacon/internal/memmgmt"
 	"beacon/internal/ndp"
+	"beacon/internal/obs"
 	"beacon/internal/sim"
 	"beacon/internal/trace"
 )
@@ -68,6 +69,11 @@ type Machine struct {
 	modules   []*ndp.Module
 	atomics   []*sim.Resource
 	packersOn bool
+	// Observability (nil when disabled): per-node task tracks, the
+	// step-completion latency histogram, and the snapshot driver.
+	ob          *obs.Obs
+	taskTracks  []obs.Track
+	stepLatency *obs.Histogram
 }
 
 // NewMachine builds the machine.
@@ -133,7 +139,35 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.modules = append(m.modules, mod)
 	}
 	m.packersOn = cfg.Opts.DataPacking
+	m.instrument(cfg.Obs)
 	return m, nil
+}
+
+// instrument attaches the observability layer to every component. All
+// hooks are observation-only; timing is identical with ob nil or set.
+func (m *Machine) instrument(ob *obs.Obs) {
+	if ob == nil {
+		return
+	}
+	m.ob = ob
+	reg := ob.Registry()
+	reg.Gauge("engine.pending_events", func() float64 { return float64(m.engine.Pending()) })
+	reg.Gauge("engine.executed_events", func() float64 { return float64(m.engine.Executed()) })
+	m.fabric.Instrument(ob)
+	for s := range m.dimms {
+		for _, d := range m.dimms[s] {
+			d.Instrument(ob)
+		}
+	}
+	for i, mod := range m.modules {
+		mod.Instrument(ob)
+		m.taskTracks = append(m.taskTracks, ob.Tracer().Track(fmt.Sprintf("node%d.tasks", i)))
+	}
+	for _, a := range m.atomics {
+		a.Instrument(ob.Tracer(), "rmw")
+	}
+	// Step-completion latency from issue to last returned piece, in cycles.
+	m.stepLatency = reg.Histogram("core.step_latency_cycles", obs.ExpBuckets(1, 2, 24))
 }
 
 // Homes returns the compute nodes (for tests).
@@ -342,6 +376,20 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 		m.engine.MaxEvents = uint64(wl.TotalSteps())*64 + 1<<20
 	}
 
+	// Observability: drive registry snapshots off the clock's advance (no
+	// events scheduled, so timing is untouched), publish run progress as
+	// gauges, and record per-task lifetime spans.
+	var taskStart map[*trace.Task]sim.Cycle
+	if m.ob != nil {
+		m.engine.OnAdvance = func(now sim.Cycle) { m.ob.MaybeSample(int64(now)) }
+		reg := m.ob.Registry()
+		reg.Gauge("core.tasks_completed", func() float64 { return float64(res.Tasks) })
+		reg.Gauge("core.steps_completed", func() float64 { return float64(res.Steps) })
+		reg.Gauge("core.local_accesses", func() float64 { return float64(res.LocalAccesses) })
+		reg.Gauge("core.remote_accesses", func() float64 { return float64(res.RemoteAccesses) })
+		taskStart = make(map[*trace.Task]sim.Cycle, len(wl.Tasks))
+	}
+
 	// Per-node task admission: each NDP module's Task Scheduler keeps a
 	// bounded number of tasks in flight and admits the next as one retires.
 	var runTask func(node int, task *trace.Task, step int, now sim.Cycle)
@@ -354,8 +402,14 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 		if firstErr != nil {
 			return
 		}
+		if taskStart != nil && step == 0 {
+			taskStart[task] = now
+		}
 		if step >= len(task.Steps) {
 			res.Tasks++
+			if taskStart != nil {
+				m.ob.Tracer().Span(m.taskTracks[node], "task", int64(taskStart[task]), int64(now))
+			}
 			if DebugTaskEnd != nil {
 				DebugTaskEnd(now)
 			}
@@ -396,6 +450,7 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 				remaining--
 				if remaining == 0 {
 					res.Steps++
+					m.stepLatency.Observe(float64(latest - now))
 					m.then(latest, func() { runTask(node, task, step+1, latest) })
 				}
 			}
@@ -435,6 +490,9 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 	if res.Tasks != len(wl.Tasks) {
 		return nil, fmt.Errorf("core: completed %d of %d tasks", res.Tasks, len(wl.Tasks))
 	}
+	// Final registry snapshot at the makespan, so even SampleEvery==0 runs
+	// dump end-of-run metrics.
+	m.ob.Sample(int64(end))
 
 	res.Cycles = end
 	var peBusy sim.Cycles

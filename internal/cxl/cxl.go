@@ -13,6 +13,7 @@ package cxl
 import (
 	"fmt"
 
+	"beacon/internal/obs"
 	"beacon/internal/sim"
 )
 
@@ -218,6 +219,40 @@ func New(cfg Config) (*Fabric, error) {
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// Instrument attaches observability: every link, switch-bus and packer lane
+// calendar gains a trace track recording its occupancy spans, and the
+// fabric's message counters plus per-pipe activity become polled gauges
+// under "cxl.". Observation-only; an ideal fabric has nothing to record.
+func (f *Fabric) Instrument(ob *obs.Obs) {
+	if ob == nil || f.cfg.Ideal {
+		return
+	}
+	tr := ob.Tracer()
+	reg := ob.Registry()
+	reg.Gauge("cxl.wire_bytes", func() float64 { return float64(f.stats.WireBytes) })
+	reg.Gauge("cxl.useful_bytes", func() float64 { return float64(f.stats.UsefulBytes) })
+	reg.Gauge("cxl.host_crossings", func() float64 { return float64(f.stats.HostCrossings) })
+	reg.Gauge("cxl.switch_bus_bytes", func() float64 { return float64(f.stats.SwitchBusBytes) })
+	reg.Gauge("cxl.messages", func() float64 { return float64(f.stats.Messages) })
+	pipe := func(p *sim.Pipe) {
+		p.Instrument(tr, "xfer")
+		reg.Gauge("cxl."+p.Name()+".busy_cycles", func() float64 { return float64(p.BusyCycles()) })
+		reg.Gauge("cxl."+p.Name()+".bytes_moved", func() float64 { return float64(p.BytesMoved()) })
+	}
+	for s := range f.hostLinks {
+		pipe(f.hostLinks[s].up)
+		pipe(f.hostLinks[s].down)
+		pipe(f.bus[s])
+		pipe(f.packers[s])
+	}
+	for s := range f.dimmLinks {
+		for d := range f.dimmLinks[s] {
+			pipe(f.dimmLinks[s][d].up)
+			pipe(f.dimmLinks[s][d].down)
+		}
+	}
+}
 
 // Stats returns a copy of the counters.
 func (f *Fabric) Stats() Stats { return f.stats }

@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"beacon/internal/obs"
 	"beacon/internal/sim"
 )
 
@@ -89,6 +90,9 @@ type DIMM struct {
 	// per chip, enforcing tFAW.
 	actTimes [][][4]sim.Cycle
 	actIdx   [][]int
+	// tr, when non-nil, records every access as a span on the DIMM's track.
+	tr      *obs.Tracer
+	trTrack obs.Track
 }
 
 // NewDIMM builds a DIMM; coalesce is the multi-chip-coalescing group size
@@ -145,6 +149,42 @@ func (d *DIMM) Config() Config { return d.cfg }
 
 // CoalesceGroup returns the configured multi-chip-coalescing group size.
 func (d *DIMM) CoalesceGroup() int { return d.coalesce }
+
+// Instrument attaches observability: every access is recorded as a span on
+// a per-DIMM trace track, and the activity counters become polled gauges
+// under "dram.<name>.". Gauges are read from the engine's snapshot hook on
+// the simulation's own goroutine. Observation-only.
+func (d *DIMM) Instrument(ob *obs.Obs) {
+	if ob == nil {
+		return
+	}
+	if tr := ob.Tracer(); tr != nil {
+		d.tr = tr
+		d.trTrack = tr.Track("dram/" + d.name)
+	}
+	reg := ob.Registry()
+	prefix := "dram." + d.name + "."
+	for _, g := range []struct {
+		name string
+		v    *uint64
+	}{
+		{"reads", &d.stats.Reads},
+		{"writes", &d.stats.Writes},
+		{"row_hits", &d.stats.RowHits},
+		{"row_misses", &d.stats.RowMisses},
+		{"row_conflicts", &d.stats.RowConflicts},
+		{"activations", &d.stats.Activations},
+		{"refreshes", &d.stats.Refreshes},
+		{"faw_stalls", &d.stats.FAWStalls},
+		{"bursts", &d.stats.BurstsIssued},
+		{"useful_bytes", &d.stats.UsefulBytes},
+		{"transferred_bytes", &d.stats.TransferredBytes},
+	} {
+		v := g.v
+		reg.Gauge(prefix+g.name, func() float64 { return float64(*v) })
+	}
+	reg.Gauge(prefix+"chip_imbalance", d.ChipImbalance)
+}
 
 // Stats returns a copy of the activity counters.
 func (d *DIMM) Stats() Stats {
@@ -266,6 +306,13 @@ func (d *DIMM) Access(now sim.Cycle, loc Loc, bytes int, write bool, mode Access
 	// CAS latency into the completion time.
 	done := end + sim.Cycles(d.cfg.TCL)
 
+	if d.tr != nil {
+		name := "read"
+		if write {
+			name = "write"
+		}
+		d.tr.Span(d.trTrack, name, int64(start), int64(done))
+	}
 	if write {
 		d.stats.Writes++
 	} else {

@@ -14,6 +14,7 @@ package ndp
 import (
 	"fmt"
 
+	"beacon/internal/obs"
 	"beacon/internal/sim"
 	"beacon/internal/trace"
 )
@@ -55,6 +56,7 @@ func (c Config) Validate() error {
 // Module is one instantiated NDP module.
 type Module struct {
 	cfg     Config
+	name    string
 	pes     *sim.Resource
 	atomics *sim.Resource
 	// scheduler state
@@ -77,10 +79,30 @@ func New(name string, cfg Config) (*Module, error) {
 	}
 	return &Module{
 		cfg:     cfg,
+		name:    name,
 		pes:     sim.NewResource(name+".pes", cfg.PEs),
 		atomics: sim.NewResource(name+".atomic", cfg.AtomicEngines),
 		limit:   limit,
 	}, nil
+}
+
+// Instrument attaches observability: the PE pool and atomic bank calendars
+// gain trace tracks (one span per compute/RMW grant), and the scheduler's
+// queue state becomes polled gauges under "ndp.<name>.". Observation-only.
+func (m *Module) Instrument(ob *obs.Obs) {
+	if ob == nil {
+		return
+	}
+	tr := ob.Tracer()
+	m.pes.Instrument(tr, "compute")
+	m.atomics.Instrument(tr, "rmw")
+	reg := ob.Registry()
+	prefix := "ndp." + m.name + "."
+	reg.Gauge(prefix+"backlog", func() float64 { return float64(len(m.pending)) })
+	reg.Gauge(prefix+"active", func() float64 { return float64(m.active) })
+	reg.Gauge(prefix+"admitted", func() float64 { return float64(m.admitted) })
+	reg.Gauge(prefix+"completed", func() float64 { return float64(m.completed) })
+	reg.Gauge(prefix+"pe_busy_cycles", func() float64 { return float64(m.peBusy) })
 }
 
 // Enqueue adds a task to the scheduler's backlog.

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime/debug"
+	"time"
+)
+
+// writeJSONIndent is the shared indentation-stable JSON writer.
+func writeJSONIndent(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+// BuildInfo is the binary's identity, extracted from the Go module system
+// and the VCS stamp the toolchain embeds at build time.
+type BuildInfo struct {
+	// Module is the main module path.
+	Module string `json:"module"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// GoVersion built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit (empty when not stamped, e.g. `go test`).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted modifications at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// ReadBuildInfo captures the running binary's build identity. It never
+// fails: missing information yields zero fields.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	out.Version = bi.Main.Version
+	out.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// String renders the build identity as a one-line version banner.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "-dirty"
+	}
+	mod, ver := b.Module, b.Version
+	if mod == "" {
+		mod = "beacon"
+	}
+	if ver == "" {
+		ver = "(devel)"
+	}
+	return fmt.Sprintf("%s %s (rev %s, %s)", mod, ver, rev, b.GoVersion)
+}
+
+// HashConfig returns a short deterministic FNV-1a hash of a configuration
+// value's %#v rendering, identifying "the same run parameters" across
+// sessions without serializing the whole struct.
+func HashConfig(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Provenance identifies one run: what was run (config hash, seed), by which
+// binary (build info), and — for logs, not for deterministic comparisons —
+// when and for how long.
+type Provenance struct {
+	// ConfigHash fingerprints the run configuration (HashConfig).
+	ConfigHash string `json:"config_hash"`
+	// Seed is the run's sampling seed.
+	Seed uint64 `json:"seed"`
+	// Build identifies the binary.
+	Build BuildInfo `json:"build"`
+}
+
+// NewProvenance captures provenance for a config value and seed.
+func NewProvenance(cfg any, seed uint64) Provenance {
+	return Provenance{ConfigHash: HashConfig(cfg), Seed: seed, Build: ReadBuildInfo()}
+}
+
+// Header renders the provenance as human-readable header lines for a CLI
+// run banner. wall is the elapsed wall-clock duration (0 to omit).
+func (p Provenance) Header(wall time.Duration) string {
+	s := fmt.Sprintf("build:  %s\nconfig: %s  seed: 0x%X", p.Build, p.ConfigHash, p.Seed)
+	if wall > 0 {
+		s += fmt.Sprintf("\nwall:   %v", wall.Round(time.Millisecond))
+	}
+	return s
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	c = &Counter{}
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter value = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	// Boundary values land in the bucket whose bound they equal (v <= bound).
+	for _, v := range []float64{0.5, 1} { // bucket 0 (<= 1)
+		h.Observe(v)
+	}
+	h.Observe(2)   // bucket 1 (<= 2)
+	h.Observe(3)   // bucket 2 (<= 4)
+	h.Observe(4)   // bucket 2 (<= 4)
+	h.Observe(4.1) // overflow
+	h.Observe(100) // overflow
+	h.Observe(math.NaN())
+	want := []uint64{2, 1, 2, 2}
+	got := h.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 0.5+1+2+3+4+4.1+100 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+}
+
+func TestHistogramNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil || h.Counts() != nil {
+		t.Fatal("nil histogram must be inert")
+	}
+}
+
+func TestHistogramUnsortedBoundsSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{4, 1, 2})
+	b := h.Bounds()
+	if b[0] != 1 || b[1] != 2 || b[2] != 4 {
+		t.Fatalf("bounds not sorted: %v", b)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("g", func() float64 { return 1 })
+	r.Histogram("h", nil).Observe(1)
+	r.Snapshot(10)
+	if r.Snapshots() != nil {
+		t.Fatal("nil registry must record nothing")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits")
+	b := r.Counter("hits")
+	if a != b {
+		t.Fatal("Counter must return the same instance per name")
+	}
+	h1 := r.Histogram("lat", []float64{1, 2})
+	h2 := r.Histogram("lat", []float64{9, 9, 9}) // bounds ignored on re-use
+	if h1 != h2 {
+		t.Fatal("Histogram must return the same instance per name")
+	}
+	if len(h2.Bounds()) != 2 {
+		t.Fatalf("re-registration must not change bounds: %v", h2.Bounds())
+	}
+}
+
+func TestSnapshotSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	v := 0.0
+	r.Gauge("depth", func() float64 { return v })
+	c.Add(2)
+	v = 7
+	r.Snapshot(100)
+	c.Add(3)
+	v = 9
+	r.Snapshot(200)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	if snaps[0].Cycle != 100 || snaps[0].Values["ops"] != 2 || snaps[0].Values["depth"] != 7 {
+		t.Fatalf("snapshot 0 = %+v", snaps[0])
+	}
+	if snaps[1].Cycle != 200 || snaps[1].Values["ops"] != 5 || snaps[1].Values["depth"] != 9 {
+		t.Fatalf("snapshot 1 = %+v", snaps[1])
+	}
+}
+
+// TestRegistryDumpDeterminism builds the same registry twice through
+// different (reversed) registration orders and demands byte-identical JSON
+// and CSV output — the property the orchestrator's merged dumps rely on.
+func TestRegistryDumpDeterminism(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	// Same metrics, reversed registration order.
+	ra.Counter("x").Add(1)
+	ra.Counter("y").Add(2)
+	ra.Histogram("h", []float64{1}).Observe(1)
+	ra.Snapshot(9)
+	rb.Counter("y").Add(2)
+	rb.Counter("x").Add(1)
+	rb.Histogram("h", []float64{1}).Observe(1)
+	rb.Snapshot(9)
+	var ja, jb, ca, cb strings.Builder
+	if err := ra.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatalf("JSON dumps differ:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if err := ra.WriteCSV(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if ca.String() != cb.String() {
+		t.Fatalf("CSV dumps differ:\n%s\nvs\n%s", ca.String(), cb.String())
+	}
+	if !strings.Contains(ca.String(), "9,x,1") {
+		t.Fatalf("CSV missing expected row:\n%s", ca.String())
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines; run
+// under -race this proves the locking discipline.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat", []float64{10, 100}).Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -107,3 +107,23 @@ func FormatRatio(v float64) string {
 func FormatPercent(v float64) string {
 	return fmt.Sprintf("%.2f%%", 100*v)
 }
+
+// KV renders an aligned key-value block (run provenance headers, summary
+// footers): each key is left-padded to the widest, followed by its value.
+func KV(title string, pairs ...[2]string) string {
+	width := 0
+	for _, p := range pairs {
+		if len(p[0]) > width {
+			width = len(p[0])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, p[0], p[1])
+	}
+	return b.String()
+}

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Pool bounds how many jobs execute simultaneously. One Pool is typically
@@ -35,8 +36,29 @@ import (
 // global across the whole job graph. The zero value is not usable; use
 // NewPool.
 type Pool struct {
-	slots chan struct{}
+	slots    chan struct{}
+	observer func(JobEvent)
 }
+
+// JobEvent reports one finished pool job to the pool's observer: which job
+// it was, how long it held its slot in wall-clock time, and how it ended.
+// Wall time is host time, never simulated time — it feeds progress output
+// and run logs, not deterministic results.
+type JobEvent struct {
+	// Label is the job's label (or its synthesized "job N" fallback).
+	Label string
+	// Wall is the job's execution duration.
+	Wall time.Duration
+	// Err is the job's failure, nil on success. Panics surface as
+	// *PanicError.
+	Err error
+}
+
+// SetObserver installs fn to be called once per finished pool job. fn is
+// invoked from worker goroutines and must be safe for concurrent use.
+// Install the observer before submitting jobs; only slot-holding (leaf)
+// jobs are reported — coordinator jobs run with a nil pool and stay silent.
+func (p *Pool) SetObserver(fn func(JobEvent)) { p.observer = fn }
 
 // NewPool returns a pool allowing jobs concurrent executions. jobs <= 0
 // selects GOMAXPROCS, the orchestrator's default.
@@ -121,13 +143,27 @@ func Run[T any](ctx context.Context, pool *Pool, jobs []Job[T]) ([]T, error) {
 				cancel()
 				return
 			}
+			var observe func(JobEvent)
+			if pool != nil {
+				observe = pool.observer
+			}
+			start := time.Time{}
+			if observe != nil {
+				start = time.Now()
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = &PanicError{Label: label, Value: r, Stack: debug.Stack()}
+					if observe != nil {
+						observe(JobEvent{Label: label, Wall: time.Since(start), Err: errs[i]})
+					}
 					cancel()
 				}
 			}()
 			v, err := job.Fn(ctx)
+			if observe != nil {
+				observe(JobEvent{Label: label, Wall: time.Since(start), Err: err})
+			}
 			if err != nil {
 				errs[i] = fmt.Errorf("runner: %s: %w", label, err)
 				cancel()

@@ -242,3 +242,77 @@ func TestRunStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPoolObserver asserts the observer sees every slot-holding job with
+// its label and outcome, and that coordinator (nil-pool) runs stay silent.
+func TestPoolObserver(t *testing.T) {
+	pool := NewPool(2)
+	var mu sync.Mutex
+	events := map[string]error{}
+	pool.SetObserver(func(ev JobEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Wall < 0 {
+			t.Errorf("negative wall time for %q", ev.Label)
+		}
+		events[ev.Label] = ev.Err
+	})
+
+	// The failure must not cancel "ok" before it starts (a cancelled job
+	// never executes and is rightly invisible to the observer), so "bad"
+	// holds its error until "ok" is underway.
+	boom := errors.New("boom")
+	okStarted := make(chan struct{})
+	jobs := []Job[int]{
+		{Label: "ok", Fn: func(context.Context) (int, error) { close(okStarted); return 1, nil }},
+		{Label: "bad", Fn: func(context.Context) (int, error) { <-okStarted; return 0, boom }},
+	}
+	if _, err := Run(context.Background(), pool, jobs); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("observer saw %d jobs, want 2: %v", len(events), events)
+	}
+	if events["ok"] != nil {
+		t.Errorf("ok job reported error %v", events["ok"])
+	}
+	if !errors.Is(events["bad"], boom) {
+		t.Errorf("bad job reported %v, want %v", events["bad"], boom)
+	}
+}
+
+// TestPoolObserverPanic asserts a panicking job surfaces to the observer as
+// a *PanicError instead of vanishing.
+func TestPoolObserverPanic(t *testing.T) {
+	pool := NewPool(1)
+	var mu sync.Mutex
+	var got error
+	pool.SetObserver(func(ev JobEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = ev.Err
+	})
+	jobs := []Job[int]{{Label: "explode", Fn: func(context.Context) (int, error) { panic("kaboom") }}}
+	_, err := Run(context.Background(), pool, jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run error = %v, want *PanicError", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !errors.As(got, &pe) {
+		t.Errorf("observer saw %v, want *PanicError", got)
+	}
+}
+
+// TestNilPoolNoObserver asserts coordinator runs (nil pool) never touch an
+// observer — there is nowhere to hang one, and they must not crash.
+func TestNilPoolNoObserver(t *testing.T) {
+	jobs := []Job[int]{{Label: "c", Fn: func(context.Context) (int, error) { return 7, nil }}}
+	out, err := Run(context.Background(), nil, jobs)
+	if err != nil || out[0] != 7 {
+		t.Fatalf("nil-pool run = %v, %v", out, err)
+	}
+}

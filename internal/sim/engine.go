@@ -65,6 +65,12 @@ type Engine struct {
 	// MaxEvents, when non-zero, aborts Run with an error after that many
 	// events. It is a safety net against livelocked models.
 	MaxEvents uint64
+	// OnAdvance, when non-nil, is invoked each time the clock advances to a
+	// new value, before that time's events run. It is an observation hook
+	// (metrics sampling drives it); it must not schedule events or mutate
+	// model state — the kernel's determinism contract assumes runs with and
+	// without the hook are byte-identical.
+	OnAdvance func(now Cycle)
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
@@ -105,6 +111,9 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 func (e *Engine) Run() (Cycle, error) {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
+		if ev.at != e.now && e.OnAdvance != nil {
+			e.OnAdvance(ev.at)
+		}
 		e.now = ev.at
 		e.executed++
 		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
@@ -120,6 +129,9 @@ func (e *Engine) Run() (Cycle, error) {
 func (e *Engine) RunUntil(deadline Cycle) (Cycle, error) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		ev := heap.Pop(&e.events).(*event)
+		if ev.at != e.now && e.OnAdvance != nil {
+			e.OnAdvance(ev.at)
+		}
 		e.now = ev.at
 		e.executed++
 		if e.MaxEvents != 0 && e.executed > e.MaxEvents {

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"beacon/internal/obs"
+)
 
 // Resource models a serially reusable hardware unit (a DRAM bank, a link
 // direction, a packer pipeline, ...) as a calendar of busy time. A request
@@ -20,6 +24,11 @@ type Resource struct {
 	busy Cycles
 	// grants counts Acquire calls.
 	grants uint64
+	// tr, when non-nil, records every grant as a span on trTrack; disabled
+	// tracing costs one branch per Acquire.
+	tr      *obs.Tracer
+	trTrack obs.Track
+	trName  string
 }
 
 // NewResource creates a resource with the given number of parallel servers.
@@ -32,6 +41,18 @@ func NewResource(name string, width int) *Resource {
 
 // Name returns the diagnostic name of the resource.
 func (r *Resource) Name() string { return r.name }
+
+// Instrument attaches a timeline tracer: every subsequent grant is recorded
+// as a spanName span on a track named after the resource. Observation-only;
+// a nil tracer leaves the resource uninstrumented.
+func (r *Resource) Instrument(tr *obs.Tracer, spanName string) {
+	if tr == nil {
+		return
+	}
+	r.tr = tr
+	r.trTrack = tr.Track(r.name)
+	r.trName = spanName
+}
 
 // Width returns the number of parallel servers.
 func (r *Resource) Width() int { return len(r.nextFree) }
@@ -58,6 +79,9 @@ func (r *Resource) Acquire(now Cycle, d Cycles) (start, end Cycle) {
 	r.grants++
 	if DebugTrackWaits {
 		debugRecord(r.name, start-now, d)
+	}
+	if r.tr != nil {
+		r.tr.Span(r.trTrack, r.trName, int64(start), int64(end))
 	}
 	return start, end
 }
@@ -136,6 +160,12 @@ func NewPipeN(name string, bytesPerCycle float64, latency Cycles, width int) *Pi
 
 // Name returns the diagnostic name of the pipe.
 func (p *Pipe) Name() string { return p.res.Name() }
+
+// Instrument attaches a timeline tracer to the pipe's lane calendar: every
+// transfer's occupancy is recorded as a spanName span on the pipe's track.
+func (p *Pipe) Instrument(tr *obs.Tracer, spanName string) {
+	p.res.Instrument(tr, spanName)
+}
 
 // Latency returns the propagation latency of the pipe.
 func (p *Pipe) Latency() Cycles { return p.latency }

@@ -3,9 +3,12 @@ package beacon
 import (
 	"context"
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"beacon/internal/energy"
+	"beacon/internal/obs"
 	"beacon/internal/runner"
 	"beacon/internal/stats"
 )
@@ -32,6 +35,7 @@ type Evaluator struct {
 	timeout time.Duration
 	pool    *runner.Pool
 	cache   *workloadCache
+	obsCol  *obs.Collection
 }
 
 // NewEvaluator returns an evaluator running rc's scale on a pool of the
@@ -48,6 +52,41 @@ func NewEvaluator(rc RunConfig, jobs int) *Evaluator {
 // It returns the evaluator for chaining.
 func (e *Evaluator) WithTimeout(d time.Duration) *Evaluator {
 	e.timeout = d
+	return e
+}
+
+// WithObservability attaches an obs.Collection: every subsequent simulation
+// job registers a per-job Obs under its full job label and runs fully
+// instrumented. Instrumentation is observation-only, so attaching a
+// collection never changes any figure. It returns the evaluator for
+// chaining.
+func (e *Evaluator) WithObservability(col *obs.Collection) *Evaluator {
+	e.obsCol = col
+	return e
+}
+
+// WithProgress streams one line per finished simulation job to w — label,
+// wall-clock duration, and FAIL plus the error for failed jobs. Output
+// order follows completion order (nondeterministic by design: this is a
+// live log, not a result). It returns the evaluator for chaining.
+func (e *Evaluator) WithProgress(w io.Writer) *Evaluator {
+	if w == nil {
+		return e
+	}
+	var mu sync.Mutex
+	done := 0
+	e.pool.SetObserver(func(ev runner.JobEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if ev.Err != nil {
+			fmt.Fprintf(w, "[%4d] FAIL %-48s %9s  %v\n",
+				done, ev.Label, ev.Wall.Round(time.Millisecond), ev.Err)
+			return
+		}
+		fmt.Fprintf(w, "[%4d] done %-48s %9s\n",
+			done, ev.Label, ev.Wall.Round(time.Millisecond))
+	})
 	return e
 }
 
@@ -74,16 +113,19 @@ func (e *Evaluator) workload(app Application, sp Species, flow KmerFlow) (*Workl
 }
 
 // simJob is one leaf of the job graph: build (or fetch) the workload and
-// replay it on one platform.
-func (e *Evaluator) simJob(app Application, sp Species, flow KmerFlow, p Platform) runner.Job[*Report] {
+// replay it on one platform. step names the job's role in its figure (a
+// ladder step name, "cpu-ref", "ideal", ...) so failures and progress lines
+// carry the full app/species/platform/step identity.
+func (e *Evaluator) simJob(app Application, sp Species, flow KmerFlow, p Platform, step string) runner.Job[*Report] {
+	label := fmt.Sprintf("%s/%s/%s/%s", app, sp, p.Kind, step)
 	return runner.Job[*Report]{
-		Label: fmt.Sprintf("%s/%s/%s", app, sp, p.Kind),
+		Label: label,
 		Fn: func(context.Context) (*Report, error) {
 			wl, err := e.workload(app, sp, flow)
 			if err != nil {
 				return nil, err
 			}
-			return Simulate(p, wl)
+			return SimulateObserved(p, wl, e.obsCol.New(label))
 		},
 	}
 }
@@ -122,15 +164,15 @@ func (e *Evaluator) runLadder(ctx context.Context, app Application, kind Platfor
 		if app == KmerCounting {
 			cpuFlow = SinglePass
 		}
-		jobs = append(jobs, e.simJob(app, sp, cpuFlow, Platform{Kind: CPU}))
-		jobs = append(jobs, e.simJob(app, sp, MultiPass, Platform{Kind: DDRBaseline}))
+		jobs = append(jobs, e.simJob(app, sp, cpuFlow, Platform{Kind: CPU}, "cpu-ref"))
+		jobs = append(jobs, e.simJob(app, sp, MultiPass, Platform{Kind: DDRBaseline}, "ddr-ref"))
 		for _, st := range steps {
-			jobs = append(jobs, e.simJob(app, sp, stepFlow(app, st), Platform{Kind: kind, Opts: st.Opts}))
+			jobs = append(jobs, e.simJob(app, sp, stepFlow(app, st), Platform{Kind: kind, Opts: st.Opts}, st.Name))
 		}
 		last := steps[len(steps)-1]
 		idealOpts := last.Opts
 		idealOpts.IdealComm = true
-		jobs = append(jobs, e.simJob(app, sp, stepFlow(app, last), Platform{Kind: kind, Opts: idealOpts}))
+		jobs = append(jobs, e.simJob(app, sp, stepFlow(app, last), Platform{Kind: kind, Opts: idealOpts}, "ideal"))
 	}
 	reports, err := runner.Run(ctx, e.pool, jobs)
 	if err != nil {
@@ -235,8 +277,8 @@ func (e *Evaluator) Figure3(ctx context.Context) (*Figure3Result, error) {
 	for _, r := range rows {
 		flow := baselineFlow(r.app)
 		jobs = append(jobs,
-			e.simJob(r.app, r.sp, flow, Platform{Kind: DDRBaseline}),
-			e.simJob(r.app, r.sp, flow, Platform{Kind: DDRBaseline, Opts: Options{IdealComm: true}}))
+			e.simJob(r.app, r.sp, flow, Platform{Kind: DDRBaseline}, "real"),
+			e.simJob(r.app, r.sp, flow, Platform{Kind: DDRBaseline, Opts: Options{IdealComm: true}}, "ideal"))
 	}
 	reports, err := runner.Run(ctx, e.pool, jobs)
 	if err != nil {
@@ -269,8 +311,8 @@ func (e *Evaluator) Figure13(ctx context.Context) (*Figure13Result, error) {
 
 	placed := Options{DataPacking: true, MemAccessOpt: true, Placement: true}
 	reports, err := runner.Run(ctx, e.pool, []runner.Job[*Report]{
-		e.simJob(FMSeeding, PinusTaeda, MultiPass, Platform{Kind: BeaconD, Opts: placed}),
-		e.simJob(FMSeeding, PinusTaeda, MultiPass, Platform{Kind: BeaconD, Opts: AllOptimizations()}),
+		e.simJob(FMSeeding, PinusTaeda, MultiPass, Platform{Kind: BeaconD, Opts: placed}, "placed"),
+		e.simJob(FMSeeding, PinusTaeda, MultiPass, Platform{Kind: BeaconD, Opts: AllOptimizations()}, "coalesced"),
 	})
 	if err != nil {
 		return nil, err
@@ -306,9 +348,9 @@ func (e *Evaluator) Figure16(ctx context.Context) (*Figure16Result, error) {
 	jobs := make([]runner.Job[*Report], 0, 3*len(out.Species))
 	for _, sp := range out.Species {
 		jobs = append(jobs,
-			e.simJob(PreAlignment, sp, MultiPass, Platform{Kind: CPU}),
-			e.simJob(PreAlignment, sp, MultiPass, Platform{Kind: BeaconD, Opts: finalOptions(PreAlignment, BeaconD)}),
-			e.simJob(PreAlignment, sp, MultiPass, Platform{Kind: BeaconS, Opts: finalOptions(PreAlignment, BeaconS)}))
+			e.simJob(PreAlignment, sp, MultiPass, Platform{Kind: CPU}, "cpu-ref"),
+			e.simJob(PreAlignment, sp, MultiPass, Platform{Kind: BeaconD, Opts: finalOptions(PreAlignment, BeaconD)}, "final"),
+			e.simJob(PreAlignment, sp, MultiPass, Platform{Kind: BeaconS, Opts: finalOptions(PreAlignment, BeaconS)}, "final"))
 	}
 	reports, err := runner.Run(ctx, e.pool, jobs)
 	if err != nil {
@@ -346,7 +388,7 @@ func (e *Evaluator) Figure17(ctx context.Context, kind PlatformKind) (*Figure17R
 		steps := ladderFor(app, kind)
 		for i := range maxSteps {
 			st := steps[min(i, len(steps)-1)]
-			jobs = append(jobs, e.simJob(app, sp, stepFlow(app, st), Platform{Kind: kind, Opts: st.Opts}))
+			jobs = append(jobs, e.simJob(app, sp, stepFlow(app, st), Platform{Kind: kind, Opts: st.Opts}, st.Name))
 		}
 	}
 	reports, err := runner.Run(ctx, e.pool, jobs)
@@ -387,8 +429,8 @@ func (e *Evaluator) OptimizationSummary(ctx context.Context, kind PlatformKind) 
 		steps := ladderFor(app, kind)
 		first, last := steps[0], steps[len(steps)-1]
 		jobs = append(jobs,
-			e.simJob(app, sp, stepFlow(app, first), Platform{Kind: kind, Opts: first.Opts}),
-			e.simJob(app, sp, stepFlow(app, last), Platform{Kind: kind, Opts: last.Opts}))
+			e.simJob(app, sp, stepFlow(app, first), Platform{Kind: kind, Opts: first.Opts}, first.Name),
+			e.simJob(app, sp, stepFlow(app, last), Platform{Kind: kind, Opts: last.Opts}, last.Name))
 	}
 	reports, err := runner.Run(ctx, e.pool, jobs)
 	if err != nil {
@@ -419,11 +461,21 @@ type EvalOptions struct {
 	Timeout time.Duration
 	// Ablations additionally runs the design-choice sweeps.
 	Ablations bool
+	// Progress, when non-nil, receives one line per finished simulation
+	// job (live log; completion order).
+	Progress io.Writer
+	// Obs, when non-nil, collects per-job metrics and timeline traces.
+	// Observation-only: the returned Evaluation is identical either way.
+	Obs *obs.Collection
 }
 
 // Evaluation holds every table and figure of the paper's evaluation
 // section, as regenerated by RunEvaluation.
 type Evaluation struct {
+	// Provenance identifies the run: config hash, seed, binary build info.
+	// Only deterministic identity lives here (wall-clock stays in logs) so
+	// two runs of the same binary and config compare equal.
+	Provenance         obs.Provenance
 	TableII            []TableIIRow
 	Fig3               *Figure3Result
 	Fig12D, Fig12S     *LadderFigure
@@ -442,14 +494,18 @@ type Evaluation struct {
 // pool of opts.Jobs workers, and each figure's merge order is fixed, so the
 // result is independent of scheduling.
 func RunEvaluation(ctx context.Context, rc RunConfig, opts EvalOptions) (*Evaluation, error) {
-	e := NewEvaluator(rc, opts.Jobs).WithTimeout(opts.Timeout)
+	e := NewEvaluator(rc, opts.Jobs).WithTimeout(opts.Timeout).
+		WithObservability(opts.Obs).WithProgress(opts.Progress)
 	ctx, cancel := e.context(ctx)
 	defer cancel()
 	// The evaluator's per-figure timeout is already applied to ctx here;
 	// avoid stacking a second deadline inside each figure call.
 	e.timeout = 0
 
-	out := &Evaluation{TableII: TableII()}
+	out := &Evaluation{
+		Provenance: obs.NewProvenance(rc, rc.Seed),
+		TableII:    TableII(),
+	}
 	jobs := []runner.Job[struct{}]{
 		{Label: "figure 3", Fn: func(ctx context.Context) (z struct{}, err error) {
 			out.Fig3, err = e.Figure3(ctx)

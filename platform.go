@@ -6,6 +6,7 @@ import (
 
 	"beacon/internal/baseline"
 	"beacon/internal/core"
+	"beacon/internal/obs"
 	"beacon/internal/stats"
 	"beacon/internal/trace"
 )
@@ -138,6 +139,17 @@ func (r *Report) EnergyReductionOver(other *Report) float64 {
 
 // Simulate replays the workload on the platform.
 func Simulate(p Platform, w *Workload) (*Report, error) {
+	return SimulateObserved(p, w, nil)
+}
+
+// SimulateObserved replays the workload on the platform with the
+// observability layer attached: component metrics, activity spans and
+// snapshot series accumulate in ob. A nil ob disables instrumentation
+// entirely (Simulate is exactly this with ob == nil). Instrumentation is
+// observation-only — the returned Report is byte-identical either way. The
+// CPU platform is an analytic model with no simulated timeline, so it
+// records nothing.
+func SimulateObserved(p Platform, w *Workload, ob *obs.Obs) (*Report, error) {
 	if w == nil || w.tr == nil {
 		return nil, fmt.Errorf("beacon: nil workload")
 	}
@@ -161,6 +173,7 @@ func Simulate(p Platform, w *Workload) (*Report, error) {
 			cfg = baseline.NESTConfig()
 		}
 		cfg.IdealComm = p.Opts.IdealComm
+		cfg.Obs = ob
 		res, err := baseline.RunDDR(cfg, w.tr)
 		if err != nil {
 			return nil, err
@@ -183,6 +196,7 @@ func Simulate(p Platform, w *Workload) (*Report, error) {
 			design = core.DesignS
 		}
 		cfg := core.DefaultConfig(design, p.Opts.coreOpts())
+		cfg.Obs = ob
 		res, err := core.Run(cfg, w.tr)
 		if err != nil {
 			return nil, err
