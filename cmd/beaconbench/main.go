@@ -15,6 +15,10 @@
 //	beaconbench -quick -progress                  # live per-job log on stderr
 //	beaconbench -quick -metrics m.json -trace t.json
 //	beaconbench -version                          # build identity
+//
+// Fault injection (deterministic; same profile + seed → identical output):
+//
+//	beaconbench -quick -faults default -fault-seed 1
 package main
 
 import (
@@ -43,6 +47,9 @@ func main() {
 	flag.Parse()
 	of.HandleVersion()
 
+	faults, err := of.FaultProfile()
+	check(err)
+
 	rc := beacon.DefaultRunConfig()
 	if *quick {
 		rc = beacon.QuickRunConfig()
@@ -55,6 +62,10 @@ func main() {
 	check(err)
 	defer stopProfiles()
 
+	if faults.Enabled() {
+		fmt.Printf("fault injection: profile %q, seed %d (BEACON platforms only)\n\n", of.Faults, of.FaultSeed)
+	}
+
 	col := of.Collection()
 	ev, err := beacon.RunEvaluation(context.Background(), rc, beacon.EvalOptions{
 		Jobs:      *jobs,
@@ -62,6 +73,8 @@ func main() {
 		Ablations: *ablations,
 		Progress:  of.ProgressWriter(),
 		Obs:       col,
+		Faults:    faults,
+		FaultSeed: of.FaultSeed,
 	})
 	if err != nil {
 		// Dump whatever observability accumulated before the failure, then
@@ -115,6 +128,12 @@ func main() {
 		fmt.Println()
 		section("Ablations — design-choice sweeps (beyond the paper)")
 		fmt.Println(ev.Ablations)
+	}
+
+	if ev.Faults != nil {
+		fmt.Println()
+		section("Fault injection — per-platform totals")
+		fmt.Println(ev.Faults)
 	}
 
 	fmt.Println()

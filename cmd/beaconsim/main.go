@@ -14,6 +14,11 @@
 //
 //	beaconsim -platform beacon-d -metrics m.json -trace t.json -sample 10000
 //	beaconsim -version
+//
+// Fault injection (deterministic; same profile + seed → identical output):
+//
+//	beaconsim -platform beacon-d -faults default -fault-seed 1
+//	beaconsim -platform beacon-d,beacon-s -faults heavy
 package main
 
 import (
@@ -85,6 +90,11 @@ func main() {
 		}
 	}
 
+	faults, err := of.FaultProfile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	cfg := beacon.DefaultWorkloadConfig(beacon.Species(*species))
 	cfg.GenomeScale = *scale
 	cfg.Reads = *reads
@@ -128,10 +138,11 @@ func main() {
 	for i, kind := range kinds {
 		kind := kind
 		label := fmt.Sprintf("%s/%s/%s", wl.Name, kind, optsName(*vanilla, *ideal))
+		p := beacon.Platform{Kind: kind, Opts: opts, Faults: faults, FaultSeed: of.FaultSeed}
 		simJobs[i] = runner.Job[*beacon.Report]{
 			Label: label,
 			Fn: func(context.Context) (*beacon.Report, error) {
-				return beacon.SimulateObserved(beacon.Platform{Kind: kind, Opts: opts}, wl, col.New(label))
+				return beacon.SimulateObserved(p, wl, col.New(label))
 			},
 		}
 	}
@@ -180,5 +191,12 @@ func printReport(kind beacon.PlatformKind, rep *beacon.Report) {
 		fmt.Printf("  local accesses  %.1f%%\n", 100*rep.LocalFraction)
 		fmt.Printf("  wire traffic    %.2f MiB, %d host crossings\n",
 			float64(rep.WireBytes)/(1<<20), rep.HostCrossings)
+	}
+	if f := rep.Faults; f.Total() > 0 || f.DRAMRetries+f.MigratedTasks+f.HostFallbackTasks > 0 {
+		fmt.Printf("  faults injected %d (link CRC %d, switch degr %d, ECC corr %d, ECC uncorr %d, NDP stalls %d, unit fails %d)\n",
+			f.Total(), f.LinkCRCErrors, f.SwitchDegraded, f.DRAMCorrectable,
+			f.DRAMUncorrectable, f.NDPStalls, f.NDPUnitFailures)
+		fmt.Printf("  fault recovery  %d DRAM retries, %d migrated tasks, %d host fallbacks\n",
+			f.DRAMRetries, f.MigratedTasks, f.HostFallbackTasks)
 	}
 }

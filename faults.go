@@ -1,0 +1,45 @@
+package beacon
+
+import (
+	"fmt"
+
+	"beacon/internal/report"
+)
+
+// FaultSummary aggregates injected faults and recovery actions per platform
+// across an evaluation run.
+type FaultSummary struct {
+	// Profile and Seed identify the injection configuration.
+	Profile FaultProfile
+	Seed    uint64
+	// Rows holds one aggregate per BEACON platform, in PlatformKind order.
+	Rows []FaultSummaryRow
+}
+
+// FaultSummaryRow is one platform's fault totals.
+type FaultSummaryRow struct {
+	Kind  PlatformKind
+	Stats FaultStats
+}
+
+// String renders the summary as a fixed-width table: injected faults on the
+// left, recovery activity (retries, migrations, host fallbacks) on the
+// right.
+func (f *FaultSummary) String() string {
+	if f == nil {
+		return ""
+	}
+	t := report.NewTable("Fault injection (deterministic, seed "+fmt.Sprint(f.Seed)+")",
+		"platform", "link CRC", "switch degr", "ECC corr", "ECC uncorr",
+		"NDP stalls", "unit fails", "DRAM retries", "migrated", "host fallback")
+	for _, r := range f.Rows {
+		s := r.Stats
+		t.AddRow(r.Kind.String(),
+			fmt.Sprint(s.LinkCRCErrors), fmt.Sprint(s.SwitchDegraded),
+			fmt.Sprint(s.DRAMCorrectable), fmt.Sprint(s.DRAMUncorrectable),
+			fmt.Sprint(s.NDPStalls), fmt.Sprint(s.NDPUnitFailures),
+			fmt.Sprint(s.DRAMRetries), fmt.Sprint(s.MigratedTasks),
+			fmt.Sprint(s.HostFallbackTasks))
+	}
+	return t.String()
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"beacon/internal/fault"
 	"beacon/internal/obs"
 	"beacon/internal/runner"
 )
@@ -38,6 +39,10 @@ type Flags struct {
 	// CPUProfile / MemProfile are pprof output paths ("" = off).
 	CPUProfile string
 	MemProfile string
+	// Faults names the fault-injection profile ("off", "default", "heavy").
+	Faults string
+	// FaultSeed seeds the deterministic fault streams.
+	FaultSeed uint64
 }
 
 // Register installs the shared flags on the default flag set; call before
@@ -55,7 +60,14 @@ func Register(traceCap int) *Flags {
 	flag.IntVar(&f.TraceCap, "tracecap", traceCap, "max trace `events` recorded per simulation job")
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file`")
+	flag.StringVar(&f.Faults, "faults", "off", "fault-injection `profile` for BEACON platforms (off, default, heavy)")
+	flag.Uint64Var(&f.FaultSeed, "fault-seed", 1, "`seed` for the deterministic fault streams")
 	return f
+}
+
+// FaultProfile resolves the -faults flag to a profile.
+func (f *Flags) FaultProfile() (fault.Profile, error) {
+	return fault.Parse(f.Faults)
 }
 
 // HandleVersion prints the build banner and exits when -version was given.

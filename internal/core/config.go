@@ -19,6 +19,7 @@ import (
 	"beacon/internal/cxl"
 	"beacon/internal/dram"
 	"beacon/internal/energy"
+	"beacon/internal/fault"
 	"beacon/internal/memmgmt"
 	"beacon/internal/obs"
 )
@@ -123,6 +124,13 @@ type Config struct {
 	InFlightPerNode int
 	// MaxEvents bounds the event count as a livelock backstop (0 = default).
 	MaxEvents uint64
+	// Faults enables deterministic fault injection (the zero profile is
+	// off): link CRC retries, switch-port degradation, DRAM media errors and
+	// NDP unit failures, drawn from per-component PCG streams keyed by
+	// (FaultSeed, component, cycle). See internal/fault.
+	Faults fault.Profile
+	// FaultSeed is the global seed of the fault streams.
+	FaultSeed uint64
 	// Obs, when non-nil, attaches the observability layer: component
 	// metrics registered in its registry, activity spans on its tracer, and
 	// periodic registry snapshots driven by the engine's time-advance hook.
@@ -189,6 +197,9 @@ func (c Config) Validate() error {
 	}
 	if c.CoalesceGroup <= 0 {
 		return fmt.Errorf("core: coalesce group must be positive")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

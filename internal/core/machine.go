@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"beacon/internal/cxl"
 	"beacon/internal/dram"
 	"beacon/internal/energy"
+	"beacon/internal/fault"
 	"beacon/internal/memmgmt"
 	"beacon/internal/ndp"
 	"beacon/internal/obs"
@@ -47,6 +49,9 @@ type Result struct {
 	// LocalAccesses / RemoteAccesses split DRAM accesses by whether they
 	// stayed inside the compute node's own DIMM (BEACON-D only).
 	LocalAccesses, RemoteAccesses uint64
+	// Faults counts injected faults and recovery actions when fault
+	// injection is enabled (all zero otherwise).
+	Faults fault.Stats
 }
 
 // Seconds converts the makespan to seconds (1.25 ns cycles).
@@ -69,6 +74,13 @@ type Machine struct {
 	modules   []*ndp.Module
 	atomics   []*sim.Resource
 	packersOn bool
+	// Fault injection (nil/empty when disabled): the shared injector, one
+	// unit-failure stream per compute node, the liveness map, and the host
+	// CPU pool that absorbs tasks when every NDP unit has failed.
+	inj       *fault.Injector
+	nodeFault []fault.Component
+	dead      []bool
+	hostCPU   *sim.Resource
 	// Observability (nil when disabled): per-node task tracks, the
 	// step-completion latency histogram, and the snapshot driver.
 	ob          *obs.Obs
@@ -139,6 +151,25 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.modules = append(m.modules, mod)
 	}
 	m.packersOn = cfg.Opts.DataPacking
+	if cfg.Faults.Enabled() {
+		m.inj = fault.NewInjector(cfg.FaultSeed, cfg.Faults)
+		m.fabric.SetInjector(m.inj)
+		for s := range m.dimms {
+			for _, d := range m.dimms[s] {
+				d.SetInjector(m.inj)
+			}
+		}
+		for i, mod := range m.modules {
+			mod.SetInjector(m.inj)
+			m.nodeFault = append(m.nodeFault, m.inj.Component(fmt.Sprintf("node%d", i)))
+		}
+		m.dead = make([]bool, len(m.homes))
+		host := cfg.Faults.NDP.HostPEs
+		if host <= 0 {
+			host = 1
+		}
+		m.hostCPU = sim.NewResource("host.cpu", host)
+	}
 	m.instrument(cfg.Obs)
 	return m, nil
 }
@@ -165,6 +196,9 @@ func (m *Machine) instrument(ob *obs.Obs) {
 	}
 	for _, a := range m.atomics {
 		a.Instrument(ob.Tracer(), "rmw")
+	}
+	if m.inj != nil {
+		m.inj.Instrument(ob)
 	}
 	// Step-completion latency from issue to last returned piece, in cycles.
 	m.stepLatency = reg.Histogram("core.step_latency_cycles", obs.ExpBuckets(1, 2, 24))
@@ -251,6 +285,33 @@ func (m *Machine) isCXLG(n cxl.NodeID) bool {
 	return n.Kind == cxl.NodeDIMM && n.Slot < m.cfg.CXLGPerSwitch
 }
 
+// dimmAccess performs one DRAM access with uncorrectable-ECC retry: the
+// memory controller re-issues the access after a backoff, up to the fault
+// profile's retry budget, so transient media errors surface as latency
+// instead of run failures. Without injection (or for non-ECC errors) it
+// degenerates to a single Access call.
+func (m *Machine) dimmAccess(now sim.Cycle, dimm *dram.DIMM, pa memmgmt.PlacedAccess, write bool,
+	fail func(error), cont func(sim.Cycle)) {
+	var attempt func(t sim.Cycle, tries int)
+	attempt = func(t sim.Cycle, tries int) {
+		t2, err := dimm.Access(t, pa.Loc, pa.Bytes, write, pa.Mode)
+		if err == nil {
+			cont(t2)
+			return
+		}
+		if m.inj == nil || !errors.Is(err, fault.ErrUncorrectable) ||
+			tries >= m.cfg.Faults.DRAM.MaxRetries {
+			fail(err)
+			return
+		}
+		m.inj.CountDRAMRetry(t)
+		m.then(t+sim.Cycles(m.cfg.Faults.DRAM.RetryBackoffCycles), func() {
+			attempt(m.engine.Now(), tries+1)
+		})
+	}
+	attempt(now, 0)
+}
+
 // serveAccess performs a read/write access from `home` to one placed
 // access, invoking cont in an event at the time the data (or ack) arrives
 // back at home. Phases are event-separated (see then()).
@@ -260,12 +321,7 @@ func (m *Machine) serveAccess(now sim.Cycle, home cxl.NodeID, pa memmgmt.PlacedA
 	if pa.Node == home {
 		// Local access inside the compute node's own CXLG-DIMM: straight to
 		// the DRAM, no fabric.
-		t, err := dimm.Access(now, pa.Loc, pa.Bytes, write, pa.Mode)
-		if err != nil {
-			fail(err)
-			return
-		}
-		cont(t)
+		m.dimmAccess(now, dimm, pa, write, fail, cont)
 		return
 	}
 	reqSize := m.cfg.ReqBytes
@@ -275,13 +331,10 @@ func (m *Machine) serveAccess(now sim.Cycle, home cxl.NodeID, pa memmgmt.PlacedA
 		respSize = m.cfg.AckBytes
 	}
 	m.routeThen(now, home, pa.Node, reqSize, fail, func(t sim.Cycle) {
-		t2, err := dimm.Access(t, pa.Loc, pa.Bytes, write, pa.Mode)
-		if err != nil {
-			fail(err)
-			return
-		}
-		m.then(t2, func() {
-			m.routeThen(t2, pa.Node, home, respSize, fail, cont)
+		m.dimmAccess(t, dimm, pa, write, fail, func(t2 sim.Cycle) {
+			m.then(t2, func() {
+				m.routeThen(t2, pa.Node, home, respSize, fail, cont)
+			})
 		})
 	})
 }
@@ -294,19 +347,11 @@ func (m *Machine) serveAtomic(now sim.Cycle, home cxl.NodeID, pa memmgmt.PlacedA
 	if pa.Node == home {
 		// Local RMW inside the CXLG-DIMM: read, compute in the NDP module's
 		// own MC/PE logic (no shared engine involved), write back.
-		t, err := dimm.Access(now, pa.Loc, pa.Bytes, false, pa.Mode)
-		if err != nil {
-			fail(err)
-			return
-		}
-		t2 := t + sim.Cycles(m.cfg.AtomicLatency)
-		m.then(t2, func() {
-			t3, err := dimm.Access(t2, pa.Loc, pa.Bytes, true, pa.Mode)
-			if err != nil {
-				fail(err)
-				return
-			}
-			cont(t3)
+		m.dimmAccess(now, dimm, pa, false, fail, func(t sim.Cycle) {
+			t2 := t + sim.Cycles(m.cfg.AtomicLatency)
+			m.then(t2, func() {
+				m.dimmAccess(t2, dimm, pa, true, fail, cont)
+			})
 		})
 		return
 	}
@@ -315,25 +360,19 @@ func (m *Machine) serveAtomic(now sim.Cycle, home cxl.NodeID, pa memmgmt.PlacedA
 	m.routeThen(now, home, sw, m.cfg.ReqBytes, fail, func(t sim.Cycle) {
 		// 2-3. Switch MC reads the data from the DIMM.
 		m.routeThen(t, sw, pa.Node, m.cfg.ReqBytes, fail, func(t sim.Cycle) {
-			t2, err := dimm.Access(t, pa.Loc, pa.Bytes, false, pa.Mode)
-			if err != nil {
-				fail(err)
-				return
-			}
-			m.then(t2, func() {
-				m.routeThen(t2, pa.Node, sw, pa.Bytes, fail, func(t sim.Cycle) {
-					// 4-5. Atomic engine (D) / switch PE (S) computes.
-					_, t3 := m.atomics[pa.Node.Switch].Acquire(t, sim.Cycles(m.cfg.AtomicLatency))
-					m.then(t3, func() {
-						// 6. Write back and acknowledge the requester.
-						m.routeThen(t3, sw, pa.Node, pa.Bytes, fail, func(t sim.Cycle) {
-							t4, err := dimm.Access(t, pa.Loc, pa.Bytes, true, pa.Mode)
-							if err != nil {
-								fail(err)
-								return
-							}
-							m.then(t4, func() {
-								m.routeThen(t4, sw, home, m.cfg.AckBytes, fail, cont)
+			m.dimmAccess(t, dimm, pa, false, fail, func(t2 sim.Cycle) {
+				m.then(t2, func() {
+					m.routeThen(t2, pa.Node, sw, pa.Bytes, fail, func(t sim.Cycle) {
+						// 4-5. Atomic engine (D) / switch PE (S) computes.
+						_, t3 := m.atomics[pa.Node.Switch].Acquire(t, sim.Cycles(m.cfg.AtomicLatency))
+						m.then(t3, func() {
+							// 6. Write back and acknowledge the requester.
+							m.routeThen(t3, sw, pa.Node, pa.Bytes, fail, func(t sim.Cycle) {
+								m.dimmAccess(t, dimm, pa, true, fail, func(t4 sim.Cycle) {
+									m.then(t4, func() {
+										m.routeThen(t4, sw, home, m.cfg.AckBytes, fail, cont)
+									})
+								})
 							})
 						})
 					})
@@ -392,15 +431,50 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 
 	// Per-node task admission: each NDP module's Task Scheduler keeps a
 	// bounded number of tasks in flight and admits the next as one retires.
-	var runTask func(node int, task *trace.Task, step int, now sim.Cycle)
+	// onHost marks tasks that fell back to the host CPU after every NDP unit
+	// failed; they run the degraded software path to completion.
+	var runTask func(node int, task *trace.Task, step int, now sim.Cycle, onHost bool)
 	admit := func(node int) {
 		m.modules[node].Admit(func(task *trace.Task) {
-			runTask(node, task, 0, m.engine.Now())
+			runTask(node, task, 0, m.engine.Now(), false)
 		})
 	}
-	runTask = func(node int, task *trace.Task, step int, now sim.Cycle) {
+	runTask = func(node int, task *trace.Task, step int, now sim.Cycle, onHost bool) {
 		if firstErr != nil {
 			return
+		}
+		if step == 0 && m.inj != nil && !onHost {
+			// Unit-failure check at admission: a node that fails stops
+			// accepting work. Its tasks migrate to the next surviving node
+			// after the failover latency, or — with no survivors — fall back
+			// to the host CPU baseline path.
+			if !m.dead[node] && m.nodeFault[node].NDPUnitFails(now) {
+				m.dead[node] = true
+			}
+			if m.dead[node] {
+				at := now + sim.Cycles(m.cfg.Faults.NDP.FailoverLatencyCycles)
+				if alt := m.aliveAfter(node); alt >= 0 {
+					m.inj.CountMigration(now)
+					m.then(at, func() {
+						m.modules[alt].Enqueue(task)
+						admit(alt)
+					})
+				} else {
+					m.inj.CountHostFallback(now)
+					m.then(at, func() { runTask(node, task, 0, m.engine.Now(), true) })
+				}
+				// Free the dead node's scheduler slot so its backlog drains
+				// (each drained task migrates in turn); via an event so the
+				// drain stays iterative rather than recursive.
+				m.engine.Schedule(0, func() {
+					if firstErr == nil {
+						m.modules[node].Complete(func(t *trace.Task) {
+							runTask(node, t, 0, m.engine.Now(), false)
+						})
+					}
+				})
+				return
+			}
 		}
 		if taskStart != nil && step == 0 {
 			taskStart[task] = now
@@ -416,20 +490,38 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 			if DebugTaskEndOwner != nil {
 				DebugTaskEndOwner(task, now)
 			}
+			if onHost {
+				// The failed node's scheduler slot was already freed at
+				// failover time.
+				return
+			}
 			m.modules[node].Complete(func(task *trace.Task) {
-				runTask(node, task, 0, m.engine.Now())
+				runTask(node, task, 0, m.engine.Now(), false)
 			})
 			return
 		}
 		st := task.Steps[step]
 		// PE compute preceding the access: the full engine latency for a new
 		// logical operation, one pipeline cycle for a continuation access.
-		tc := m.modules[node].Compute(now, task.Engine, st)
+		var tc sim.Cycle
+		if onHost {
+			// Degraded software path: a host CPU thread services the step with
+			// the per-step fallback penalty instead of an NDP PE.
+			_, tc = m.hostCPU.Acquire(now,
+				sim.Cycles(m.cfg.Faults.NDP.HostFallbackCycles+int(st.Compute)))
+		} else {
+			tc = m.modules[node].Compute(now, task.Engine, st)
+		}
 		if DebugStepTrace != nil {
 			DebugStepTrace(taskIndex(task, wl), step, now, tc)
 		}
 
 		home := m.homes[node]
+		if onHost {
+			// The data stays placed for the failed node; the host reaches it
+			// across the fabric.
+			home = cxl.Host()
+		}
 		local := wl.LocalSpaces[st.Space]
 		// Non-replicated atomic targets are logically one copy pool-wide.
 		shared := st.Op == trace.OpAtomicRMW && !local
@@ -451,7 +543,7 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 				if remaining == 0 {
 					res.Steps++
 					m.stepLatency.Observe(float64(latest - now))
-					m.then(latest, func() { runTask(node, task, step+1, latest) })
+					m.then(latest, func() { runTask(node, task, step+1, latest, onHost) })
 				}
 			}
 			for _, pa := range placed {
@@ -495,6 +587,9 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 	m.ob.Sample(int64(end))
 
 	res.Cycles = end
+	if m.inj != nil {
+		res.Faults = m.inj.Stats()
+	}
 	var peBusy sim.Cycles
 	for _, mod := range m.modules {
 		peBusy += mod.PEBusyCycles()
@@ -542,6 +637,18 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 	computePJ := em.PEComputePJ(int64(peBusy)) + em.PELeakagePJ(len(m.homes)*m.cfg.PEsPerNode, int64(end))
 	res.Energy = energy.Breakdown{CommunicationPJ: commPJ, DRAMPJ: dramPJ, ComputePJ: computePJ}
 	return res, nil
+}
+
+// aliveAfter returns the next surviving node after node in round-robin
+// order, or -1 when every node has failed.
+func (m *Machine) aliveAfter(node int) int {
+	for i := 1; i <= len(m.homes); i++ {
+		n := (node + i) % len(m.homes)
+		if !m.dead[n] {
+			return n
+		}
+	}
+	return -1
 }
 
 // taskIndex locates a task within its workload (debug only; O(1) via

@@ -13,6 +13,7 @@ package cxl
 import (
 	"fmt"
 
+	"beacon/internal/fault"
 	"beacon/internal/obs"
 	"beacon/internal/sim"
 )
@@ -183,6 +184,10 @@ type Fabric struct {
 	bus       []*sim.Pipe
 	packers   []*sim.Pipe // per switch: packer pipeline
 	stats     Stats
+	// linkFaults/busFaults map each pipe to its fault stream when injection
+	// is enabled (lookup only — never iterated).
+	linkFaults map[*sim.Pipe]fault.Component
+	busFaults  map[*sim.Pipe]fault.Component
 }
 
 // New builds a fabric.
@@ -219,6 +224,28 @@ func New(cfg Config) (*Fabric, error) {
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// SetInjector enables fault injection: every link direction gets its own
+// flit-CRC stream and every Switch-Bus its own port-degradation stream,
+// keyed by pipe name. An ideal fabric has no pipes and injects nothing.
+func (f *Fabric) SetInjector(in *fault.Injector) {
+	if in == nil || f.cfg.Ideal {
+		return
+	}
+	f.linkFaults = make(map[*sim.Pipe]fault.Component)
+	f.busFaults = make(map[*sim.Pipe]fault.Component)
+	for s := range f.hostLinks {
+		f.linkFaults[f.hostLinks[s].up] = in.Component("cxl/" + f.hostLinks[s].up.Name())
+		f.linkFaults[f.hostLinks[s].down] = in.Component("cxl/" + f.hostLinks[s].down.Name())
+		f.busFaults[f.bus[s]] = in.Component("cxl/" + f.bus[s].Name())
+	}
+	for s := range f.dimmLinks {
+		for d := range f.dimmLinks[s] {
+			f.linkFaults[f.dimmLinks[s][d].up] = in.Component("cxl/" + f.dimmLinks[s][d].up.Name())
+			f.linkFaults[f.dimmLinks[s][d].down] = in.Component("cxl/" + f.dimmLinks[s][d].down.Name())
+		}
+	}
+}
 
 // Instrument attaches observability: every link, switch-bus and packer lane
 // calendar gains a trace track recording its occupancy spans, and the
@@ -293,7 +320,11 @@ type Hop struct {
 }
 
 // Traverse sends wire bytes through the hop at time now and returns the
-// delivery time. A pure-latency hop has no pipe.
+// delivery time. A pure-latency hop has no pipe. With fault injection
+// enabled, link hops roll flit CRC errors — each retry waits out the replay
+// buffer, then re-serializes the whole message through the same pipe (so
+// retransmissions consume real link bandwidth and show up in WireBytes) —
+// and bus hops roll transient port degradation, a pure delivery delay.
 func (h Hop) Traverse(now sim.Cycle, wire int) sim.Cycle {
 	t := now
 	if h.pipe != nil {
@@ -301,8 +332,18 @@ func (h Hop) Traverse(now sim.Cycle, wire int) sim.Cycle {
 		switch h.kind {
 		case hopLink:
 			h.f.stats.WireBytes += uint64(wire)
+			if fc, ok := h.f.linkFaults[h.pipe]; ok {
+				flits := (wire + FlitBytes - 1) / FlitBytes
+				for r := fc.LinkCRC(t, flits); r > 0; r-- {
+					t = h.pipe.Transfer(t+fc.ReplayLatency(), wire)
+					h.f.stats.WireBytes += uint64(wire)
+				}
+			}
 		case hopBus:
 			h.f.stats.SwitchBusBytes += uint64(wire)
+			if fc, ok := h.f.busFaults[h.pipe]; ok {
+				t += fc.SwitchDegrade(t)
+			}
 		}
 	}
 	return t + h.extra

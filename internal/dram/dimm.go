@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"beacon/internal/fault"
 	"beacon/internal/obs"
 	"beacon/internal/sim"
 )
@@ -93,6 +94,8 @@ type DIMM struct {
 	// tr, when non-nil, records every access as a span on the DIMM's track.
 	tr      *obs.Tracer
 	trTrack obs.Track
+	// flt, when enabled, rolls on-die-ECC media errors per access.
+	flt fault.Component
 }
 
 // NewDIMM builds a DIMM; coalesce is the multi-chip-coalescing group size
@@ -149,6 +152,13 @@ func (d *DIMM) Config() Config { return d.cfg }
 
 // CoalesceGroup returns the configured multi-chip-coalescing group size.
 func (d *DIMM) CoalesceGroup() int { return d.coalesce }
+
+// SetInjector enables media-error injection on this DIMM.
+func (d *DIMM) SetInjector(in *fault.Injector) {
+	if in != nil {
+		d.flt = in.Component("dram/" + d.name)
+	}
+}
 
 // Instrument attaches observability: every access is recorded as a span on
 // a per-DIMM trace track, and the activity counters become polled gauges
@@ -210,6 +220,20 @@ func (d *DIMM) Access(now sim.Cycle, loc Loc, bytes int, write bool, mode Access
 		return 0, fmt.Errorf("dram: %s: negative row", d.name)
 	}
 
+	// Media errors roll before any bank state mutates, so a failed access
+	// leaves the row/refresh bookkeeping exactly as it found it and the
+	// controller's re-read replays a clean request.
+	eccPrep := 0
+	if d.flt.Enabled() {
+		switch kind, extra := d.flt.DRAMFault(now); kind {
+		case fault.DRAMUncorrectable:
+			return 0, fmt.Errorf("dram: %s: rank %d bank %d row %d: %w",
+				d.name, loc.Rank, loc.Bank, loc.Row, fault.ErrUncorrectable)
+		case fault.DRAMCorrectable:
+			eccPrep = extra
+		}
+	}
+
 	// Resolve the chip set serving this request.
 	var first, width int
 	switch mode {
@@ -246,6 +270,8 @@ func (d *DIMM) Access(now sim.Cycle, loc Loc, bytes int, write bool, mode Access
 		d.stats.Activations++
 		activates = true
 	}
+	// ECC correction stretches the preamble like any other prep work.
+	prep += eccPrep
 	nextRow := loc.Row
 	if d.cfg.ClosedPage {
 		// Auto-precharge: the bank returns to idle after the access.

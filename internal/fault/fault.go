@@ -1,0 +1,185 @@
+// Package fault is the deterministic fault-injection subsystem for the CXL
+// memory pool. It models the availability hazards a production pool faces
+// that the paper's fault-free evaluation ignores: CXL link flit CRC errors
+// with link-layer retry (replay buffer turnaround plus retransmission
+// bandwidth), transient switch-port degradation that throttles in-switch
+// routing, DRAM on-die-ECC correctable errors (extra access latency) and
+// uncorrectable errors (request failure, absorbed by controller re-reads up
+// to a retry budget), and NDP unit failure with graceful degradation — the
+// dead unit's tasks migrate to a surviving unit or, when none survives, to
+// the host CPU path.
+//
+// Determinism contract: every fault decision is a pure function of (global
+// fault seed, component identity, current cycle, per-component draw index),
+// evaluated through a PCG generator (see pcg.go). Each simulation owns one
+// Injector and runs single-threaded, so draw indexes advance in a defined
+// order; parallel orchestration runs independent machines with independent
+// injectors. Two runs with the same configuration, workload and fault seed
+// therefore produce byte-identical results at any -jobs width — the same
+// contract the rest of the simulator enforces.
+package fault
+
+import "fmt"
+
+// LinkFaults configures CXL link-layer flit CRC errors.
+type LinkFaults struct {
+	// FlitCRCProb is the probability that one 64 B flit of a message-hop
+	// arrives with a CRC error (per-flit; a message's error probability is
+	// 1-(1-p)^flits).
+	FlitCRCProb float64
+	// ReplayLatencyCycles is the link-layer replay-buffer turnaround charged
+	// before each retransmission.
+	ReplayLatencyCycles int
+	// MaxRetries bounds the retransmissions modeled per message-hop; the
+	// transfer is delivered after the budget regardless (CXL links retry
+	// until success — the bound only caps the modeled penalty).
+	MaxRetries int
+}
+
+// SwitchFaults configures transient switch-port congestion/degradation.
+type SwitchFaults struct {
+	// DegradeProb is the probability a Switch-Bus traversal hits a degraded
+	// port and is throttled.
+	DegradeProb float64
+	// DegradePenaltyCycles is the added delivery delay when throttled.
+	DegradePenaltyCycles int
+}
+
+// DRAMFaults configures DRAM media errors.
+type DRAMFaults struct {
+	// CorrectableProb is the per-access probability of an on-die-ECC
+	// correctable error (the access pays ECCLatencyCycles extra).
+	CorrectableProb float64
+	// ECCLatencyCycles is the correction latency added to the row preamble.
+	ECCLatencyCycles int
+	// UncorrectableProb is the per-access probability of an uncorrectable
+	// error: the access fails and the memory controller re-reads after
+	// RetryBackoffCycles, up to MaxRetries times, before the request is
+	// declared lost.
+	UncorrectableProb  float64
+	RetryBackoffCycles int
+	MaxRetries         int
+}
+
+// NDPFaults configures NDP unit hazards.
+type NDPFaults struct {
+	// StallProb is the per-step probability a PE wedges for StallCycles
+	// before completing (transient stall/timeout).
+	StallProb   float64
+	StallCycles int
+	// UnitFailProb is the per-admitted-task probability that the node's NDP
+	// unit fails permanently. A dead unit's tasks migrate to the next
+	// surviving unit after FailoverLatencyCycles; when every unit is dead
+	// they fall back to the host CPU path.
+	UnitFailProb          float64
+	FailoverLatencyCycles int
+	// HostFallbackCycles is the per-step host-CPU compute latency on the
+	// fallback path (the software baseline is far slower per operation).
+	HostFallbackCycles int
+	// HostPEs is the host path's concurrency (CPU threads).
+	HostPEs int
+}
+
+// Profile bundles all fault rates. The zero value disables injection
+// entirely; all fields are scalars so a Profile stays comparable and can be
+// embedded in platform configurations.
+type Profile struct {
+	Link   LinkFaults
+	Switch SwitchFaults
+	DRAM   DRAMFaults
+	NDP    NDPFaults
+}
+
+// Enabled reports whether any fault class has a positive rate.
+func (p Profile) Enabled() bool {
+	return p.Link.FlitCRCProb > 0 || p.Switch.DegradeProb > 0 ||
+		p.DRAM.CorrectableProb > 0 || p.DRAM.UncorrectableProb > 0 ||
+		p.NDP.StallProb > 0 || p.NDP.UnitFailProb > 0
+}
+
+// Validate checks rates and latencies.
+func (p Profile) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"link.flit_crc", p.Link.FlitCRCProb},
+		{"switch.degrade", p.Switch.DegradeProb},
+		{"dram.correctable", p.DRAM.CorrectableProb},
+		{"dram.uncorrectable", p.DRAM.UncorrectableProb},
+		{"ndp.stall", p.NDP.StallProb},
+		{"ndp.unit_fail", p.NDP.UnitFailProb},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: probability %s = %g out of [0,1]", pr.name, pr.v)
+		}
+	}
+	lats := []struct {
+		name string
+		v    int
+	}{
+		{"link.replay_latency", p.Link.ReplayLatencyCycles},
+		{"link.max_retries", p.Link.MaxRetries},
+		{"switch.degrade_penalty", p.Switch.DegradePenaltyCycles},
+		{"dram.ecc_latency", p.DRAM.ECCLatencyCycles},
+		{"dram.retry_backoff", p.DRAM.RetryBackoffCycles},
+		{"dram.max_retries", p.DRAM.MaxRetries},
+		{"ndp.stall_cycles", p.NDP.StallCycles},
+		{"ndp.failover_latency", p.NDP.FailoverLatencyCycles},
+		{"ndp.host_fallback_cycles", p.NDP.HostFallbackCycles},
+		{"ndp.host_pes", p.NDP.HostPEs},
+	}
+	for _, l := range lats {
+		if l.v < 0 {
+			return fmt.Errorf("fault: negative %s = %d", l.name, l.v)
+		}
+	}
+	return nil
+}
+
+// DefaultProfile returns moderate production-like rates: rare enough that
+// throughput degrades by percents, frequent enough that every recovery path
+// exercises on realistic runs.
+func DefaultProfile() Profile {
+	return Profile{
+		Link:   LinkFaults{FlitCRCProb: 1e-4, ReplayLatencyCycles: 64, MaxRetries: 8},
+		Switch: SwitchFaults{DegradeProb: 1e-4, DegradePenaltyCycles: 128},
+		DRAM: DRAMFaults{
+			CorrectableProb: 1e-4, ECCLatencyCycles: 16,
+			UncorrectableProb: 1e-6, RetryBackoffCycles: 256, MaxRetries: 4,
+		},
+		NDP: NDPFaults{
+			StallProb: 1e-4, StallCycles: 512,
+			UnitFailProb: 0, FailoverLatencyCycles: 1024,
+			HostFallbackCycles: 64, HostPEs: 48,
+		},
+	}
+}
+
+// HeavyProfile returns stress-test rates (tens of faults on even small
+// runs), including permanent NDP unit failures.
+func HeavyProfile() Profile {
+	p := DefaultProfile()
+	p.Link.FlitCRCProb = 5e-3
+	p.Switch.DegradeProb = 5e-3
+	p.DRAM.CorrectableProb = 5e-3
+	p.DRAM.UncorrectableProb = 1e-4
+	p.NDP.StallProb = 5e-3
+	p.NDP.UnitFailProb = 1e-3
+	return p
+}
+
+// Parse resolves a named profile: "off"/"none"/"" (disabled), "default", or
+// "heavy".
+func Parse(name string) (Profile, error) {
+	switch name {
+	case "", "off", "none":
+		return Profile{}, nil
+	case "default":
+		return DefaultProfile(), nil
+	case "heavy":
+		return HeavyProfile(), nil
+	}
+	return Profile{}, fmt.Errorf("fault: unknown profile %q (want off, default, or heavy)", name)
+}

@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"beacon/internal/obs"
+)
+
+func TestDraw64IsAPureFunctionOfItsKey(t *testing.T) {
+	t.Parallel()
+	a := draw64(1, 2, 3, 4)
+	for i := 0; i < 10; i++ {
+		if draw64(1, 2, 3, 4) != a {
+			t.Fatal("draw64 not deterministic for a fixed key")
+		}
+	}
+	// Every key coordinate must matter.
+	for _, other := range []uint64{
+		draw64(2, 2, 3, 4),
+		draw64(1, 3, 3, 4),
+		draw64(1, 2, 4, 4),
+		draw64(1, 2, 3, 5),
+	} {
+		if other == a {
+			t.Fatal("draw64 ignored a key coordinate")
+		}
+	}
+}
+
+func TestDrawFloatUniformity(t *testing.T) {
+	t.Parallel()
+	// Crude uniformity check over consecutive cycles: mean near 0.5, all
+	// values in [0,1).
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := drawFloat(0xBEAC07, fnv1a("link"), int64(i), 0)
+		if v < 0 || v >= 1 {
+			t.Fatalf("drawFloat out of range: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Errorf("mean %g, want ~0.5", mean)
+	}
+}
+
+func TestRollRespectsProbabilityBounds(t *testing.T) {
+	t.Parallel()
+	in := NewInjector(7, DefaultProfile())
+	for i := 0; i < 100; i++ {
+		if in.roll(1, 5, 0) {
+			t.Fatal("p=0 fired")
+		}
+		if !in.roll(1, 5, 1) {
+			t.Fatal("p=1 did not fire")
+		}
+	}
+}
+
+func TestRollRateTracksProbability(t *testing.T) {
+	t.Parallel()
+	in := NewInjector(42, DefaultProfile())
+	const n, p = 50000, 0.1
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.roll(99, 0, p) { // same cycle: the draw index decorrelates
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("empirical rate %g for p=%g", rate, p)
+	}
+}
+
+func TestInjectorStreamsAreIndependentAcrossComponents(t *testing.T) {
+	t.Parallel()
+	run := func(order []string) map[string]int {
+		in := NewInjector(123, HeavyProfile())
+		hits := map[string]int{}
+		for _, name := range order {
+			c := in.Component(name)
+			for cyc := int64(0); cyc < 2000; cyc++ {
+				if c.SwitchDegrade(5)+c.SwitchDegrade(9) > 0 {
+					hits[name]++
+				}
+			}
+		}
+		return hits
+	}
+	// A component's outcomes must not depend on which other components drew
+	// before it — only on its own draw index sequence.
+	a := run([]string{"s0.bus", "s1.bus"})
+	b := run([]string{"s1.bus", "s0.bus"})
+	for _, name := range []string{"s0.bus", "s1.bus"} {
+		if a[name] != b[name] {
+			t.Errorf("%s: %d hits vs %d when drawn in a different global order", name, a[name], b[name])
+		}
+	}
+}
+
+func TestLinkCRCRetriesAreBoundedAndCounted(t *testing.T) {
+	t.Parallel()
+	prof := Profile{Link: LinkFaults{FlitCRCProb: 1, ReplayLatencyCycles: 10, MaxRetries: 3}}
+	in := NewInjector(1, prof)
+	c := in.Component("link")
+	got := c.LinkCRC(0, 4)
+	if got != prof.Link.MaxRetries {
+		t.Fatalf("retries = %d, want the MaxRetries cap %d", got, prof.Link.MaxRetries)
+	}
+	st := in.Stats()
+	if st.LinkRetries != uint64(prof.Link.MaxRetries) {
+		t.Errorf("LinkRetries = %d, want %d", st.LinkRetries, prof.Link.MaxRetries)
+	}
+	if st.LinkCRCErrors != uint64(prof.Link.MaxRetries)+1 {
+		t.Errorf("LinkCRCErrors = %d, want %d", st.LinkCRCErrors, prof.Link.MaxRetries+1)
+	}
+	if c.ReplayLatency() != 10 {
+		t.Errorf("ReplayLatency = %d, want 10", c.ReplayLatency())
+	}
+}
+
+func TestDRAMFaultOutcomes(t *testing.T) {
+	t.Parallel()
+	in := NewInjector(1, Profile{DRAM: DRAMFaults{CorrectableProb: 1, ECCLatencyCycles: 16}})
+	kind, extra := in.Component("d").DRAMFault(0)
+	if kind != DRAMCorrectable || extra != 16 {
+		t.Errorf("got (%v,%d), want correctable with 16 extra cycles", kind, extra)
+	}
+	in = NewInjector(1, Profile{DRAM: DRAMFaults{UncorrectableProb: 1}})
+	kind, _ = in.Component("d").DRAMFault(0)
+	if kind != DRAMUncorrectable {
+		t.Errorf("got %v, want uncorrectable", kind)
+	}
+	if in.Stats().DRAMUncorrectable != 1 {
+		t.Error("uncorrectable error not counted")
+	}
+	if !errors.Is(ErrUncorrectable, ErrUncorrectable) {
+		t.Error("sentinel must match itself")
+	}
+}
+
+func TestZeroComponentIsDisabled(t *testing.T) {
+	t.Parallel()
+	var c Component
+	if c.Enabled() {
+		t.Error("zero Component reports enabled")
+	}
+	if c.LinkCRC(0, 100) != 0 || c.SwitchDegrade(0) != 0 || c.NDPStall(0) != 0 ||
+		c.NDPUnitFails(0) || c.ReplayLatency() != 0 {
+		t.Error("zero Component injected a fault")
+	}
+	if k, _ := c.DRAMFault(0); k != DRAMNone {
+		t.Error("zero Component injected a DRAM fault")
+	}
+}
+
+func TestProfileParseAndValidate(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"", "off", "none"} {
+		p, err := Parse(name)
+		if err != nil || p.Enabled() {
+			t.Errorf("Parse(%q) = %+v, %v; want disabled profile", name, p, err)
+		}
+	}
+	for _, name := range []string{"default", "heavy"} {
+		p, err := Parse(name)
+		if err != nil || !p.Enabled() {
+			t.Errorf("Parse(%q) not an enabled profile (err=%v)", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("Parse(%q).Validate: %v", name, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse accepted an unknown profile name")
+	}
+	bad := DefaultProfile()
+	bad.Link.FlitCRCProb = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted probability > 1")
+	}
+	bad = DefaultProfile()
+	bad.DRAM.RetryBackoffCycles = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a negative latency")
+	}
+}
+
+func TestStatsAddAndTotal(t *testing.T) {
+	t.Parallel()
+	a := Stats{LinkCRCErrors: 1, SwitchDegraded: 2, DRAMCorrectable: 3,
+		DRAMUncorrectable: 4, NDPStalls: 5, NDPUnitFailures: 6,
+		LinkRetries: 7, DRAMRetries: 8, MigratedTasks: 9, HostFallbackTasks: 10}
+	var s Stats
+	s.Add(a)
+	s.Add(a)
+	if s.Total() != 2*(1+2+3+4+5+6) {
+		t.Errorf("Total = %d", s.Total())
+	}
+	if s.LinkRetries != 14 || s.HostFallbackTasks != 20 {
+		t.Errorf("Add missed recovery counters: %+v", s)
+	}
+}
+
+func TestInstrumentPublishesGaugesAndInstants(t *testing.T) {
+	t.Parallel()
+	in := NewInjector(1, Profile{Switch: SwitchFaults{DegradeProb: 1, DegradePenaltyCycles: 8}})
+	ob := obs.New("fault-test")
+	in.Instrument(ob)
+	in.Component("bus").SwitchDegrade(7)
+	ob.Sample(10)
+	snaps := ob.Metrics.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshot recorded")
+	}
+	found := false
+	for name, v := range snaps[len(snaps)-1].Values {
+		if strings.HasPrefix(name, "fault.switch_degraded") && v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fault.switch_degraded gauge missing or wrong")
+	}
+}

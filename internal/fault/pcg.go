@@ -1,0 +1,56 @@
+package fault
+
+import "math/bits"
+
+// The fault streams use PCG-XSH-RR-32 over a 64-bit LCG state. Unlike the
+// free-running xoshiro generator in internal/sim, fault draws are *keyed*:
+// the generator state is derived fresh from (seed, component, cycle, draw
+// index) for every decision, so a decision's outcome depends only on those
+// four values — never on how many draws other components made or on event
+// interleaving across machines. That is what keeps serial and parallel
+// orchestration byte-identical.
+
+const (
+	pcgMult = 6364136223846793005
+	weyl    = 0x9E3779B97F4A7C15 // golden-ratio increment, decorrelates keys
+)
+
+// fnv1a hashes a component name to its stream identity (FNV-1a 64).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func pcgStep(state, inc uint64) uint64 { return state*pcgMult + inc }
+
+// pcgOut is the PCG XSH-RR output permutation: xorshift-high, random rotate.
+func pcgOut(state uint64) uint32 {
+	xorshifted := uint32(((state >> 18) ^ state) >> 27)
+	rot := int(state >> 59)
+	return bits.RotateLeft32(xorshifted, -rot)
+}
+
+// draw64 returns a uniform 64-bit value for the keyed stream position
+// (seed, comp, cycle, n). Each key component is absorbed through an LCG
+// step so nearby keys (adjacent cycles, consecutive draw indexes) produce
+// independent-looking outputs.
+func draw64(seed, comp uint64, cycle int64, n uint64) uint64 {
+	inc := comp<<1 | 1 // PCG stream selector must be odd
+	state := seed + inc
+	state = pcgStep(state, inc) + uint64(cycle)*weyl
+	state = pcgStep(state, inc) + n*weyl
+	state = pcgStep(state, inc)
+	hi := pcgOut(state)
+	state = pcgStep(state, inc)
+	lo := pcgOut(state)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// drawFloat maps a keyed draw onto [0,1) with 53-bit resolution.
+func drawFloat(seed, comp uint64, cycle int64, n uint64) float64 {
+	return float64(draw64(seed, comp, cycle, n)>>11) / (1 << 53)
+}

@@ -1,0 +1,71 @@
+package fmindex
+
+import (
+	"testing"
+
+	"beacon/internal/genome"
+)
+
+// FuzzFMIndex drives construction and search with arbitrary byte strings
+// mapped onto the DNA alphabet: the suffix array must be a valid sorted
+// permutation, and Search/Count/Locate must agree exactly with a naive
+// O(n*m) scan. Run continuously with
+//
+//	go test -fuzz=FuzzFMIndex ./internal/fmindex
+func FuzzFMIndex(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGT"), []byte("ACGT"))
+	f.Add([]byte("AAAAAAAAAAAAAAAA"), []byte("AAA"))
+	f.Add([]byte("banana"), []byte("an"))
+	f.Add([]byte("mississippi$$"), []byte("issi"))
+	f.Add([]byte{0, 1, 2, 3, 3, 2, 1, 0}, []byte{1, 2})
+	f.Fuzz(func(t *testing.T, refRaw, patRaw []byte) {
+		if len(refRaw) == 0 {
+			return
+		}
+		if len(refRaw) > 1024 {
+			refRaw = refRaw[:1024]
+		}
+		if len(patRaw) > 64 {
+			patRaw = patRaw[:64]
+		}
+		ref := make([]byte, len(refRaw))
+		for i, b := range refRaw {
+			ref[i] = "ACGT"[b&3]
+		}
+		// Construction: the SA underlying the index must be a valid sorted
+		// permutation of suffixes for any input.
+		if err := checkSuffixArray(ref, BuildSuffixArray(ref)); err != nil {
+			t.Fatalf("suffix array invalid for %q: %v", ref, err)
+		}
+		idx, err := Build(genome.MustFromString(string(ref)))
+		if err != nil {
+			t.Fatalf("Build(%q): %v", ref, err)
+		}
+		if len(patRaw) == 0 {
+			return
+		}
+		pat := make([]byte, len(patRaw))
+		for i, b := range patRaw {
+			pat[i] = "ACGT"[b&3]
+		}
+		want := naiveCount(string(ref), string(pat))
+		pseq := genome.MustFromString(string(pat))
+		if got := idx.Count(pseq); got != want {
+			t.Fatalf("Count(%q) = %d, naive = %d (ref %q)", pat, got, want, ref)
+		}
+		iv := idx.Search(pseq)
+		if int(iv.Width()) != want {
+			t.Fatalf("Search(%q) width = %d, naive = %d (ref %q)", pat, iv.Width(), want, ref)
+		}
+		wantPos := naiveFind(string(ref), string(pat))
+		got := idx.Locate(iv, len(ref)+1)
+		if len(got) != len(wantPos) {
+			t.Fatalf("Locate(%q) found %d positions, naive %d (ref %q)", pat, len(got), len(wantPos), ref)
+		}
+		for _, p := range got {
+			if !wantPos[int(p)] {
+				t.Fatalf("Locate(%q) returned false position %d (ref %q)", pat, p, ref)
+			}
+		}
+	})
+}

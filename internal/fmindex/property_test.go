@@ -1,0 +1,90 @@
+package fmindex
+
+import (
+	"testing"
+
+	"beacon/internal/genome"
+	"beacon/internal/sim"
+)
+
+// Property: on arbitrary random genomes, backward search agrees exactly with
+// a naive O(n*m) scan — Search's interval width equals the occurrence count,
+// and Locate returns exactly the naive positions. This is the conformance
+// contract the seeding kernels rely on.
+func TestSearchMatchesNaiveScanOnRandomGenomes(t *testing.T) {
+	rng := sim.NewRNG(2024)
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + rng.Intn(1500)
+		ref := make([]byte, n)
+		// Low-entropy alphabets stress repeat structure; full ACGT stresses
+		// branching.
+		sigma := 2 + rng.Intn(3)
+		for i := range ref {
+			ref[i] = "ACGT"[rng.Intn(sigma)]
+		}
+		idx := mustIndex(t, string(ref))
+		for q := 0; q < 25; q++ {
+			var pat string
+			if q%2 == 0 && n > 2 {
+				// Substrings: guaranteed present.
+				plen := 1 + rng.Intn(min(24, n-1))
+				start := rng.Intn(n - plen)
+				pat = string(ref[start : start+plen])
+			} else {
+				// Random patterns: usually absent on larger alphabets.
+				p := make([]byte, 1+rng.Intn(16))
+				for i := range p {
+					p[i] = "ACGT"[rng.Intn(4)]
+				}
+				pat = string(p)
+			}
+			want := naiveCount(string(ref), pat)
+			iv := idx.Search(genome.MustFromString(pat))
+			if got := int(iv.Width()); got != want {
+				t.Fatalf("trial %d: Search(%q) width = %d, naive = %d (ref %q)",
+					trial, pat, got, want, ref)
+			}
+			wantPos := naiveFind(string(ref), pat)
+			for _, pos := range idx.Locate(iv, n+1) {
+				if !wantPos[int(pos)] {
+					t.Fatalf("trial %d: Locate(%q) returned false position %d", trial, pat, pos)
+				}
+			}
+			if got := len(idx.Locate(iv, n+1)); got != len(wantPos) {
+				t.Fatalf("trial %d: Locate(%q) found %d positions, naive %d",
+					trial, pat, got, len(wantPos))
+			}
+		}
+	}
+}
+
+// Property: stepwise Extend is consistent with whole-pattern Search — the
+// seeding kernel extends base by base and must land on the same interval.
+func TestExtendComposesToSearch(t *testing.T) {
+	rng := sim.NewRNG(4096)
+	g, err := genome.Synthesize(genome.DefaultSyntheticConfig(4000, 77))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	idx, err := Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		plen := 1 + rng.Intn(30)
+		pat := genome.NewSequence(plen)
+		for i := 0; i < plen; i++ {
+			pat.Set(i, genome.Base(rng.Intn(4)))
+		}
+		// Backward search consumes the pattern right to left.
+		iv := idx.Full()
+		for i := plen - 1; i >= 0 && !iv.Empty(); i-- {
+			iv = idx.Extend(iv, pat.At(i))
+		}
+		direct := idx.Search(pat)
+		if iv.Width() != direct.Width() {
+			t.Fatalf("trial %d: Extend chain width %d != Search width %d for %s",
+				trial, iv.Width(), direct.Width(), pat)
+		}
+	}
+}

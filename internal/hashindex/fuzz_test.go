@@ -1,0 +1,80 @@
+package hashindex
+
+import (
+	"testing"
+
+	"beacon/internal/genome"
+)
+
+// FuzzHashIndexLookup builds an index over arbitrary DNA-mapped bytes with
+// fuzzed (k, stride, maxHits) and checks Lookup's contract from both sides:
+// every returned position really holds the queried k-mer (soundness), the
+// MaxHits bound is respected, and when the result is not truncated a known
+// indexed occurrence is always found (completeness). Run continuously with
+//
+//	go test -fuzz=FuzzHashIndexLookup ./internal/hashindex
+func FuzzHashIndexLookup(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGT"), byte(13), byte(2), byte(16), uint64(0))
+	f.Add([]byte("AAAAAAAAAAAAAAAAAAAAAAAA"), byte(4), byte(1), byte(3), uint64(0))
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}, byte(2), byte(3), byte(1), uint64(1<<40))
+	f.Fuzz(func(t *testing.T, refRaw []byte, kRaw, strideRaw, maxHitsRaw byte, probe uint64) {
+		if len(refRaw) > 4096 {
+			refRaw = refRaw[:4096]
+		}
+		k := 1 + int(kRaw)%16
+		stride := 1 + int(strideRaw)%4
+		maxHits := 1 + int(maxHitsRaw)%32
+		if len(refRaw) < k {
+			return
+		}
+		ref := genome.NewSequence(len(refRaw))
+		for i, b := range refRaw {
+			ref.Set(i, genome.Base(b&3))
+		}
+		idx, err := Build(ref, Config{K: k, Stride: stride, MaxHits: maxHits})
+		if err != nil {
+			t.Fatalf("Build(len=%d, k=%d, stride=%d): %v", ref.Len(), k, stride, err)
+		}
+		check := func(m genome.Kmer) []int32 {
+			hits := idx.Lookup(m, maxHits)
+			if len(hits) > maxHits {
+				t.Fatalf("Lookup(%s) returned %d hits, max %d", m.String(k), len(hits), maxHits)
+			}
+			for _, pos := range hits {
+				if pos < 0 || int(pos)+k > ref.Len() {
+					t.Fatalf("Lookup(%s) position %d out of range", m.String(k), pos)
+				}
+				if int(pos)%stride != 0 {
+					t.Fatalf("Lookup(%s) position %d not on the sampling stride %d", m.String(k), pos, stride)
+				}
+				if got := genome.KmerAt(ref, int(pos), k); got != m {
+					t.Fatalf("Lookup(%s) position %d holds %s", m.String(k), pos, got.String(k))
+				}
+			}
+			return hits
+		}
+		// Arbitrary (usually absent) probe: soundness under collisions.
+		mask := ^genome.Kmer(0)
+		if 2*k < 64 {
+			mask = genome.Kmer(1)<<(2*k) - 1
+		}
+		check(genome.Kmer(probe) & mask)
+		// Indexed probe: an occurrence known to be in the index must come
+		// back whenever the hit list was not truncated at maxHits.
+		p := int(probe%uint64(idx.numKmers)) * stride
+		m := genome.KmerAt(ref, p, k)
+		hits := check(m)
+		if len(hits) < maxHits {
+			found := false
+			for _, pos := range hits {
+				if int(pos) == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("Lookup(%s) missed indexed position %d (got %v)", m.String(k), p, hits)
+			}
+		}
+	})
+}

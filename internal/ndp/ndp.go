@@ -14,6 +14,7 @@ package ndp
 import (
 	"fmt"
 
+	"beacon/internal/fault"
 	"beacon/internal/obs"
 	"beacon/internal/sim"
 	"beacon/internal/trace"
@@ -66,6 +67,8 @@ type Module struct {
 	// stats
 	admitted, completed int
 	peBusy              sim.Cycles
+	// flt, when enabled, rolls transient PE stalls per compute step.
+	flt fault.Component
 }
 
 // New builds a module.
@@ -103,6 +106,13 @@ func (m *Module) Instrument(ob *obs.Obs) {
 	reg.Gauge(prefix+"admitted", func() float64 { return float64(m.admitted) })
 	reg.Gauge(prefix+"completed", func() float64 { return float64(m.completed) })
 	reg.Gauge(prefix+"pe_busy_cycles", func() float64 { return float64(m.peBusy) })
+}
+
+// SetInjector enables transient-stall injection on this module's PEs.
+func (m *Module) SetInjector(in *fault.Injector) {
+	if in != nil {
+		m.flt = in.Component("ndp/" + m.name)
+	}
 }
 
 // Enqueue adds a task to the scheduler's backlog.
@@ -153,6 +163,12 @@ func (m *Module) Compute(now sim.Cycle, engine trace.Engine, step trace.Step) si
 		compute = sim.Cycles(1 + int(step.Compute))
 	}
 	m.peBusy += compute
+	if m.flt.Enabled() {
+		// A wedged PE occupies its slot for the stall but does no work, so
+		// the stall extends occupancy without inflating the busy-energy
+		// counter.
+		compute += m.flt.NDPStall(now)
+	}
 	_, end := m.pes.Acquire(now, compute)
 	return end
 }

@@ -5,11 +5,19 @@
 //
 // Like Shouji (Alser et al., Bioinformatics 2019), the filter builds
 // neighborhood bit-vectors for the 2E+1 diagonals of the banded alignment
-// matrix and greedily assembles a "common subsequence" from 4-column
-// windows, choosing per window the diagonal segment with the fewest
-// mismatches. The filter is lenient by construction — it never rejects a
-// pair whose true edit distance is within the threshold — a property the
-// tests verify against a reference dynamic-programming aligner.
+// matrix. The estimate is then assembled as the cheapest left-to-right walk
+// over those diagonals, paying one edit per mismatch bit and one per unit of
+// upward diagonal switch; downward switches are free because the read
+// deletions that cause them already pay through their column bits. (Shouji's
+// greedy fixed-window assembly is not a true lower bound: an indel
+// mid-window shifts the alignment between diagonals and every single
+// diagonal can over-count, rejecting an alignable pair. The walk charges at
+// most the substitutions, deletions and reference insertions any banded
+// alignment must pay, so it never exceeds the true edit
+// distance.) The filter is therefore lenient by construction — it never
+// rejects a pair whose banded edit distance is within the threshold — a
+// property the tests verify against a reference dynamic-programming aligner,
+// under random substitution and indel scripts.
 package prealign
 
 import (
@@ -18,9 +26,6 @@ import (
 	"beacon/internal/genome"
 	"beacon/internal/trace"
 )
-
-// windowCols is Shouji's sliding-window width (4 columns in the paper).
-const windowCols = 4
 
 // Config parameterizes the filter.
 type Config struct {
@@ -63,29 +68,58 @@ func Filter(read *genome.Sequence, ref *genome.Sequence, refPos int, maxEdits in
 		}
 		diags[di] = v
 	}
-	// Greedy window pass: for each 4-column window pick the diagonal segment
-	// with the fewest mismatches and commit it to the common subsequence.
-	mismatches := 0
-	for col := 0; col < l; col += windowCols {
-		end := col + windowCols
-		if end > l {
-			end = l
+	// Min-cost diagonal walk: dp[di] is the cheapest way to consume read
+	// columns 0..i ending on diagonal di, paying 1 per mismatch bit and 1
+	// per unit of upward diagonal switch between consecutive columns
+	// (downward switches are free). Any banded alignment within E edits
+	// induces such a walk of cost <= E: matches are free on their own
+	// diagonal, substitutions and read deletions each pay <= 1 through their
+	// column bit (a deletion's downward switch is free), and reference
+	// insertions pay the upward switch. The result is therefore a true lower
+	// bound of the banded edit distance.
+	const inf = 1 << 30
+	dp := make([]int, numDiag)
+	next := make([]int, numDiag)
+	for di := range dp {
+		if diags[di][0] {
+			dp[di] = 1
 		}
-		best := end - col + 1
+	}
+	for i := 1; i < l; i++ {
+		// Asymmetric distance transform:
+		// reach[di] = min(min_{dj>=di} dp[dj], min_{dj<di} dp[dj] + (di-dj)).
 		for di := 0; di < numDiag; di++ {
-			cnt := 0
-			for i := col; i < end; i++ {
-				if diags[di][i] {
-					cnt++
-				}
-			}
-			if cnt < best {
-				best = cnt
+			next[di] = dp[di]
+			if di > 0 && next[di-1]+1 < next[di] {
+				next[di] = next[di-1] + 1
 			}
 		}
-		mismatches += best
-		if mismatches > maxEdits {
-			return mismatches, false
+		for di := numDiag - 2; di >= 0; di-- {
+			if next[di+1] < next[di] {
+				next[di] = next[di+1]
+			}
+		}
+		low := inf
+		for di := 0; di < numDiag; di++ {
+			if diags[di][i] {
+				next[di]++
+			}
+			if next[di] < low {
+				low = next[di]
+			}
+		}
+		dp, next = next, dp
+		if low > maxEdits {
+			// Every walk already exceeds the budget; the tail cannot reduce
+			// it. Report the running bound (capped semantics like the banded
+			// reference aligner).
+			return low, false
+		}
+	}
+	mismatches := inf
+	for di := 0; di < numDiag; di++ {
+		if dp[di] < mismatches {
+			mismatches = dp[di]
 		}
 	}
 	return mismatches, mismatches <= maxEdits

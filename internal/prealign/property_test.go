@@ -1,0 +1,82 @@
+package prealign
+
+import (
+	"testing"
+
+	"beacon/internal/genome"
+	"beacon/internal/sim"
+)
+
+// mutate applies up to e random edits (substitutions, insertions and
+// deletions) to seq and returns the result. Indels shift the tail, which is
+// exactly the case the Shouji sliding windows must absorb.
+func mutate(rng *sim.RNG, seq *genome.Sequence, e int) *genome.Sequence {
+	bases := seq.Bases()
+	n := rng.Intn(e + 1)
+	for m := 0; m < n; m++ {
+		if len(bases) == 0 {
+			break
+		}
+		i := rng.Intn(len(bases))
+		switch rng.Intn(3) {
+		case 0: // substitution
+			bases[i] = genome.Base(rng.Intn(4))
+		case 1: // insertion
+			bases = append(bases[:i], append([]genome.Base{genome.Base(rng.Intn(4))}, bases[i:]...)...)
+		default: // deletion
+			bases = append(bases[:i], bases[i+1:]...)
+		}
+	}
+	out := genome.NewSequence(len(bases))
+	for i, b := range bases {
+		out.Set(i, b)
+	}
+	return out
+}
+
+// Property: across random genomes and random edit scripts including indels,
+// the pre-alignment filter never rejects a pair the full (banded) aligner
+// would accept. This is the filter's soundness contract: false accepts only
+// cost verification time, false rejects lose mappings.
+func TestFilterNeverRejectsAlignablePairsProperty(t *testing.T) {
+	const e = 5
+	checked := 0
+	for seed := uint64(1); seed <= 4; seed++ {
+		ref, err := genome.Synthesize(genome.DefaultSyntheticConfig(20000, seed))
+		if err != nil {
+			t.Fatalf("seed %d: Synthesize: %v", seed, err)
+		}
+		rng := sim.NewRNG(seed * 101)
+		for trial := 0; trial < 200; trial++ {
+			l := 60 + rng.Intn(80)
+			pos := rng.Intn(ref.Len() - l - e)
+			read := mutate(rng, ref.Slice(pos, pos+l), e)
+			if read.Len() == 0 {
+				continue
+			}
+			// The full aligner is semi-global at the candidate position: the
+			// best global alignment over every window length within +-e of
+			// the read.
+			best := e + 1
+			for wlen := read.Len() - e; wlen <= read.Len()+e; wlen++ {
+				if wlen < 0 || pos+wlen > ref.Len() {
+					continue
+				}
+				if d := EditDistance(read, ref.Slice(pos, pos+wlen), e); d < best {
+					best = d
+				}
+			}
+			if best > e {
+				continue // edits drifted past the threshold; not a must-accept pair
+			}
+			checked++
+			if _, ok := Filter(read, ref, pos, e); !ok {
+				t.Fatalf("seed %d trial %d: false rejection at pos=%d (read %d bp)",
+					seed, trial, pos, read.Len())
+			}
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("only %d within-threshold pairs checked", checked)
+	}
+}

@@ -71,6 +71,9 @@ type Engine struct {
 	// model state — the kernel's determinism contract assumes runs with and
 	// without the hook are byte-identical.
 	OnAdvance func(now Cycle)
+	// err records the first scheduling violation (an event in the past);
+	// Run/RunUntil surface it instead of executing on a corrupted timeline.
+	err error
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
@@ -96,20 +99,32 @@ func (e *Engine) Schedule(delay Cycles, fn func()) {
 	e.ScheduleAt(e.now+delay, fn)
 }
 
-// ScheduleAt runs fn at absolute time at (>= Now).
+// ScheduleAt runs fn at absolute time at (>= Now). An event in the past is
+// a model bug: it is rejected (dropped, never reordered onto the timeline)
+// and recorded as an error that Run/RunUntil return.
 func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule in the past: at=%d now=%d", at, e.now))
+		if e.err == nil {
+			e.err = fmt.Errorf("sim: schedule in the past: at=%d now=%d", at, e.now)
+		}
+		return
 	}
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
 }
 
+// Err returns the first scheduling violation recorded, if any.
+func (e *Engine) Err() error { return e.err }
+
 // Run drains the event heap until it is empty, returning the final time.
-// If MaxEvents is exceeded, Run returns an error describing the livelock.
+// If MaxEvents is exceeded, Run returns an error describing the livelock;
+// a past-time scheduling violation (see ScheduleAt) also aborts the run.
 func (e *Engine) Run() (Cycle, error) {
 	for len(e.events) > 0 {
+		if e.err != nil {
+			return e.now, e.err
+		}
 		ev := heap.Pop(&e.events).(*event)
 		if ev.at != e.now && e.OnAdvance != nil {
 			e.OnAdvance(ev.at)
@@ -121,13 +136,16 @@ func (e *Engine) Run() (Cycle, error) {
 		}
 		ev.fn()
 	}
-	return e.now, nil
+	return e.now, e.err
 }
 
 // RunUntil processes events with at <= deadline. Remaining events stay queued
 // and the clock stops at min(deadline, last event time).
 func (e *Engine) RunUntil(deadline Cycle) (Cycle, error) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
+		if e.err != nil {
+			return e.now, e.err
+		}
 		ev := heap.Pop(&e.events).(*event)
 		if ev.at != e.now && e.OnAdvance != nil {
 			e.OnAdvance(ev.at)
@@ -142,5 +160,5 @@ func (e *Engine) RunUntil(deadline Cycle) (Cycle, error) {
 	if e.now < deadline && len(e.events) == 0 {
 		e.now = deadline
 	}
-	return e.now, nil
+	return e.now, e.err
 }

@@ -79,18 +79,36 @@ func TestEngineNegativeDelayPanics(t *testing.T) {
 	NewEngine().Schedule(-1, func() {})
 }
 
-func TestEngineSchedulePastPanics(t *testing.T) {
+// Regression: an event scheduled in the past must be rejected — dropped and
+// surfaced as an error from Run — never reordered onto the timeline.
+func TestEngineSchedulePastReturnsError(t *testing.T) {
 	e := NewEngine()
+	ran := false
 	e.Schedule(10, func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic scheduling in the past")
-			}
-		}()
-		e.ScheduleAt(5, func() {})
+		e.ScheduleAt(5, func() { ran = true })
 	})
-	if _, err := e.Run(); err != nil {
-		t.Fatalf("Run: %v", err)
+	if _, err := e.Run(); err == nil {
+		t.Fatal("Run accepted an event scheduled in the past")
+	}
+	if ran {
+		t.Error("past-time event was executed")
+	}
+	if e.Err() == nil {
+		t.Error("Err() lost the violation")
+	}
+	// The error is sticky: later Run calls keep reporting it.
+	if _, err := e.Run(); err == nil {
+		t.Error("violation not sticky across Run calls")
+	}
+}
+
+// Regression: RunUntil surfaces the same violation.
+func TestEngineRunUntilSurfacesPastScheduleError(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() { e.ScheduleAt(3, func() {}) })
+	e.Schedule(20, func() {})
+	if _, err := e.RunUntil(30); err == nil {
+		t.Fatal("RunUntil accepted an event scheduled in the past")
 	}
 }
 

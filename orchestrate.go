@@ -36,6 +36,15 @@ type Evaluator struct {
 	pool    *runner.Pool
 	cache   *workloadCache
 	obsCol  *obs.Collection
+	// Fault injection (zero profile = off): the profile and seed applied to
+	// every BEACON simulation job, plus a per-platform aggregate. The
+	// aggregate is commutative uint64 sums under a mutex, so it is
+	// byte-identical at any jobs width even though jobs finish in
+	// scheduler order.
+	faults    FaultProfile
+	faultSeed uint64
+	faultMu   sync.Mutex
+	faultAgg  map[PlatformKind]FaultStats
 }
 
 // NewEvaluator returns an evaluator running rc's scale on a pool of the
@@ -63,6 +72,47 @@ func (e *Evaluator) WithTimeout(d time.Duration) *Evaluator {
 func (e *Evaluator) WithObservability(col *obs.Collection) *Evaluator {
 	e.obsCol = col
 	return e
+}
+
+// WithFaults applies a fault-injection profile to every subsequent BEACON
+// simulation job (the baselines ignore it). It returns the evaluator for
+// chaining.
+func (e *Evaluator) WithFaults(prof FaultProfile, seed uint64) *Evaluator {
+	e.faults = prof
+	e.faultSeed = seed
+	if prof.Enabled() {
+		e.faultAgg = make(map[PlatformKind]FaultStats)
+	}
+	return e
+}
+
+// FaultSummary returns per-platform fault and recovery totals aggregated
+// over every job run so far (nil when injection is off).
+func (e *Evaluator) FaultSummary() *FaultSummary {
+	if e.faultAgg == nil {
+		return nil
+	}
+	e.faultMu.Lock()
+	defer e.faultMu.Unlock()
+	out := &FaultSummary{Profile: e.faults, Seed: e.faultSeed}
+	for _, k := range []PlatformKind{BeaconD, BeaconS} {
+		if st, ok := e.faultAgg[k]; ok {
+			out.Rows = append(out.Rows, FaultSummaryRow{Kind: k, Stats: st})
+		}
+	}
+	return out
+}
+
+// recordFaults folds one job's fault stats into the per-platform aggregate.
+func (e *Evaluator) recordFaults(kind PlatformKind, st FaultStats) {
+	if e.faultAgg == nil {
+		return
+	}
+	e.faultMu.Lock()
+	agg := e.faultAgg[kind]
+	agg.Add(st)
+	e.faultAgg[kind] = agg
+	e.faultMu.Unlock()
 }
 
 // WithProgress streams one line per finished simulation job to w — label,
@@ -117,6 +167,8 @@ func (e *Evaluator) workload(app Application, sp Species, flow KmerFlow) (*Workl
 // ladder step name, "cpu-ref", "ideal", ...) so failures and progress lines
 // carry the full app/species/platform/step identity.
 func (e *Evaluator) simJob(app Application, sp Species, flow KmerFlow, p Platform, step string) runner.Job[*Report] {
+	p.Faults = e.faults
+	p.FaultSeed = e.faultSeed
 	label := fmt.Sprintf("%s/%s/%s/%s", app, sp, p.Kind, step)
 	return runner.Job[*Report]{
 		Label: label,
@@ -125,7 +177,12 @@ func (e *Evaluator) simJob(app Application, sp Species, flow KmerFlow, p Platfor
 			if err != nil {
 				return nil, err
 			}
-			return SimulateObserved(p, wl, e.obsCol.New(label))
+			rep, err := SimulateObserved(p, wl, e.obsCol.New(label))
+			if err != nil {
+				return nil, err
+			}
+			e.recordFaults(p.Kind, rep.Faults)
+			return rep, nil
 		},
 	}
 }
@@ -467,6 +524,10 @@ type EvalOptions struct {
 	// Obs, when non-nil, collects per-job metrics and timeline traces.
 	// Observation-only: the returned Evaluation is identical either way.
 	Obs *obs.Collection
+	// Faults applies a fault-injection profile to every BEACON simulation
+	// job (zero = off); FaultSeed seeds the deterministic fault streams.
+	Faults    FaultProfile
+	FaultSeed uint64
 }
 
 // Evaluation holds every table and figure of the paper's evaluation
@@ -487,6 +548,9 @@ type Evaluation struct {
 	SummaryD, SummaryS *OptSummary
 	// Ablations is the rendered sweep output (empty unless requested).
 	Ablations string
+	// Faults aggregates injected faults per platform (nil when injection
+	// was off).
+	Faults *FaultSummary
 }
 
 // RunEvaluation regenerates the full evaluation section. All figures run
@@ -495,7 +559,8 @@ type Evaluation struct {
 // result is independent of scheduling.
 func RunEvaluation(ctx context.Context, rc RunConfig, opts EvalOptions) (*Evaluation, error) {
 	e := NewEvaluator(rc, opts.Jobs).WithTimeout(opts.Timeout).
-		WithObservability(opts.Obs).WithProgress(opts.Progress)
+		WithObservability(opts.Obs).WithProgress(opts.Progress).
+		WithFaults(opts.Faults, opts.FaultSeed)
 	ctx, cancel := e.context(ctx)
 	defer cancel()
 	// The evaluator's per-figure timeout is already applied to ctx here;
@@ -562,5 +627,6 @@ func RunEvaluation(ctx context.Context, rc RunConfig, opts EvalOptions) (*Evalua
 	if _, err := runner.Run(ctx, nil, jobs); err != nil {
 		return nil, err
 	}
+	out.Faults = e.FaultSummary()
 	return out, nil
 }

@@ -6,10 +6,27 @@ import (
 
 	"beacon/internal/baseline"
 	"beacon/internal/core"
+	"beacon/internal/fault"
 	"beacon/internal/obs"
 	"beacon/internal/stats"
 	"beacon/internal/trace"
 )
+
+// FaultProfile configures deterministic fault injection for the BEACON
+// platforms; the zero value disables it. See internal/fault.
+type FaultProfile = fault.Profile
+
+// FaultStats counts injected faults and recovery actions.
+type FaultStats = fault.Stats
+
+// DefaultFaultProfile returns the moderate fault-rate profile.
+func DefaultFaultProfile() FaultProfile { return fault.DefaultProfile() }
+
+// HeavyFaultProfile returns the stress-test fault-rate profile.
+func HeavyFaultProfile() FaultProfile { return fault.HeavyProfile() }
+
+// ParseFaultProfile resolves a named profile ("off", "default", "heavy").
+func ParseFaultProfile(name string) (FaultProfile, error) { return fault.Parse(name) }
 
 // PlatformKind selects the system a workload runs on.
 type PlatformKind int
@@ -90,6 +107,12 @@ type Platform struct {
 	Kind PlatformKind
 	// Opts positions BEACON on its optimization ladder.
 	Opts Options
+	// Faults enables deterministic fault injection on the BEACON platforms
+	// (zero = disabled). The CPU and DDR baselines model neither the CXL
+	// fabric nor its RAS path and ignore it.
+	Faults FaultProfile
+	// FaultSeed seeds the per-component fault streams.
+	FaultSeed uint64
 }
 
 // Report summarizes one simulation.
@@ -117,6 +140,9 @@ type Report struct {
 	// ChipAccesses is the per-chip burst distribution on CXLG-DIMMs
 	// (BEACON-D only; Fig. 13).
 	ChipAccesses []uint64
+	// Faults counts injected faults and recovery actions (all zero when
+	// injection is disabled or the platform ignores it).
+	Faults FaultStats
 }
 
 // CommEnergyRatio returns communication's share of total energy.
@@ -197,10 +223,13 @@ func SimulateObserved(p Platform, w *Workload, ob *obs.Obs) (*Report, error) {
 		}
 		cfg := core.DefaultConfig(design, p.Opts.coreOpts())
 		cfg.Obs = ob
+		cfg.Faults = p.Faults
+		cfg.FaultSeed = p.FaultSeed
 		res, err := core.Run(cfg, w.tr)
 		if err != nil {
 			return nil, err
 		}
+		rep.Faults = res.Faults
 		rep.Cycles = int64(res.Cycles)
 		rep.Seconds = res.Seconds()
 		rep.EnergyPJ = res.EnergyPJ()
