@@ -1,0 +1,45 @@
+GO ?= go
+
+.PHONY: all build test race lint beaconlint fmt tidy-check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages that create or drive goroutines.
+race:
+	$(GO) test -race -timeout 15m . ./internal/runner ./internal/obs ./internal/fault ./internal/sim
+
+# The repository's determinism analyzers (see DESIGN.md §4d). Exits
+# non-zero on any diagnostic; suppressions need //beaconlint:allow.
+beaconlint:
+	$(GO) run ./tools/beaconlint ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+tidy-check:
+	$(GO) mod tidy
+	git diff --exit-code -- go.mod go.sum
+
+# Full lint suite. staticcheck and govulncheck run when installed (CI
+# installs them; locally they are optional extras, not dependencies).
+lint: fmt tidy-check beaconlint
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi

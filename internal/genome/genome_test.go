@@ -308,10 +308,10 @@ func TestKmerAtPanics(t *testing.T) {
 }
 
 func TestBaseComplement(t *testing.T) {
-	pairs := map[Base]Base{A: T, C: G, G: C, T: A}
-	for b, want := range pairs {
-		if b.Complement() != want {
-			t.Errorf("complement(%c) = %c, want %c", b.Char(), b.Complement().Char(), want.Char())
+	pairs := []struct{ b, want Base }{{A, T}, {C, G}, {G, C}, {T, A}}
+	for _, p := range pairs {
+		if p.b.Complement() != p.want {
+			t.Errorf("complement(%c) = %c, want %c", p.b.Char(), p.b.Complement().Char(), p.want.Char())
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package kmer
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +9,17 @@ import (
 	"beacon/internal/sim"
 	"beacon/internal/trace"
 )
+
+// sortedKmerKeys returns m's keys in ascending order, so test loops fail on
+// the same k-mer every run regardless of map iteration order.
+func sortedKmerKeys[V any](m map[genome.Kmer]V) []genome.Kmer {
+	keys := make([]genome.Kmer, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 func TestCountingBloomNeverUndercounts(t *testing.T) {
 	b, err := NewCountingBloom(1024, 4)
@@ -21,8 +33,13 @@ func TestCountingBloomNeverUndercounts(t *testing.T) {
 		b.Add(key)
 		truth[key]++
 	}
-	for key, n := range truth {
-		want := n
+	keys := make([]uint64, 0, len(truth))
+	for key := range truth {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		want := truth[key]
 		if want > 15 {
 			want = 15 // saturation
 		}
@@ -162,8 +179,8 @@ func TestMultiPassMatchesExactOnRepeats(t *testing.T) {
 		t.Fatalf("CountMultiPass: %v", err)
 	}
 	exact := CountExact(reads, cfg.K)
-	for m, want := range exact {
-		if got := res.Counts[m]; got != want {
+	for _, m := range sortedKmerKeys(exact) {
+		if got, want := res.Counts[m], exact[m]; got != want {
 			t.Fatalf("multi-pass count(%s) = %d, want %d", m.String(cfg.K), got, want)
 		}
 	}
@@ -199,8 +216,8 @@ func TestSinglePassMatchesExactOnRepeats(t *testing.T) {
 		t.Fatalf("CountSinglePass: %v", err)
 	}
 	exact := CountExact(reads, cfg.K)
-	for m, want := range exact {
-		if got := res.Counts[m]; got != want {
+	for _, m := range sortedKmerKeys(exact) {
+		if got, want := res.Counts[m], exact[m]; got != want {
 			t.Fatalf("single-pass count(%s) = %d, want %d", m.String(cfg.K), got, want)
 		}
 	}
@@ -226,7 +243,7 @@ func TestFlowsAgreeOnRepeatedKmers(t *testing.T) {
 		t.Fatalf("CountSinglePass: %v", err)
 	}
 	exact := CountExact(reads, cfg.K)
-	for m := range exact {
+	for _, m := range sortedKmerKeys(exact) {
 		diff := int64(mp.Counts[m]) - int64(sp.Counts[m])
 		// A first-occurrence Bloom false positive makes the single-pass flow
 		// report one extra count (BFCounter's documented approximation); the
@@ -363,11 +380,11 @@ func TestCountExactSemantics(t *testing.T) {
 	// Canonical 4-mers of r1: ACGT, CGTA->TACG(canonical of CGTA is CGTA vs
 	// rc TACG -> TACG? verify by construction instead: total instances = 4.
 	var total uint32
-	for _, c := range counts {
-		if c < 2 {
-			t.Errorf("CountExact kept a singleton (count %d)", c)
+	for _, m := range sortedKmerKeys(counts) {
+		if counts[m] < 2 {
+			t.Errorf("CountExact kept a singleton (count %d)", counts[m])
 		}
-		total += c
+		total += counts[m]
 	}
 	if total == 0 {
 		t.Error("expected at least one repeated canonical 4-mer")

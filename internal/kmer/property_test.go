@@ -44,9 +44,13 @@ func TestFlowsMatchMapReferenceProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: CountSinglePass: %v", seed, err)
 		}
-		for name, got := range map[string]Counts{"multi-pass": mp.Counts, "single-pass": sp.Counts} {
-			for m, want := range exact {
-				g := got[m]
+		// Iterate flows and k-mers in fixed order so a failure always
+		// reports the same first mismatch (beaconlint: maporder).
+		flows := map[string]Counts{"multi-pass": mp.Counts, "single-pass": sp.Counts}
+		for _, name := range []string{"multi-pass", "single-pass"} {
+			got := flows[name]
+			for _, m := range sortedKmerKeys(exact) {
+				g, want := got[m], exact[m]
 				// The single-pass flow may over-report by exactly one when the
 				// k-mer's first sighting hit a Bloom false positive.
 				if g != want && !(name == "single-pass" && g == want+1) {
@@ -54,7 +58,7 @@ func TestFlowsMatchMapReferenceProperty(t *testing.T) {
 						seed, name, m.String(cfg.K), g, want)
 				}
 			}
-			for m := range got {
+			for _, m := range sortedKmerKeys(got) {
 				switch all[m] {
 				case 0:
 					t.Fatalf("seed %d: %s reports k-mer %s absent from input",

@@ -84,19 +84,22 @@ func TestAddRowf(t *testing.T) {
 
 func TestFormatRatio(t *testing.T) {
 	t.Parallel()
-	cases := map[float64]string{
-		525.73: "525.7x",
-		100:    "100.0x", // boundary: >= 100 takes one decimal
-		99.99:  "99.99x",
-		12.345: "12.35x", // rounded
-		10:     "10.00x", // boundary: >= 10 takes two decimals
-		1.084:  "1.084x",
-		0.5:    "0.500x",
-		0:      "0.000x",
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{525.73, "525.7x"},
+		{100, "100.0x"}, // boundary: >= 100 takes one decimal
+		{99.99, "99.99x"},
+		{12.345, "12.35x"}, // rounded
+		{10, "10.00x"},     // boundary: >= 10 takes two decimals
+		{1.084, "1.084x"},
+		{0.5, "0.500x"},
+		{0, "0.000x"},
 	}
-	for v, want := range cases {
-		if got := FormatRatio(v); got != want {
-			t.Errorf("FormatRatio(%g) = %q, want %q", v, got, want)
+	for _, tc := range cases {
+		if got := FormatRatio(tc.v); got != tc.want {
+			t.Errorf("FormatRatio(%g) = %q, want %q", tc.v, got, tc.want)
 		}
 	}
 	// Non-finite ratios must render recognizably, not as digits.

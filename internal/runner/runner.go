@@ -149,20 +149,22 @@ func Run[T any](ctx context.Context, pool *Pool, jobs []Job[T]) ([]T, error) {
 			}
 			start := time.Time{}
 			if observe != nil {
-				start = time.Now()
+				// Wall-clock here is JobEvent.Wall provenance for progress
+				// output; it never reaches simulated results.
+				start = time.Now() //beaconlint:allow nodeterminism wall-clock feeds JobEvent.Wall progress provenance only, never simulated results
 			}
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = &PanicError{Label: label, Value: r, Stack: debug.Stack()}
 					if observe != nil {
-						observe(JobEvent{Label: label, Wall: time.Since(start), Err: errs[i]})
+						observe(JobEvent{Label: label, Wall: time.Since(start), Err: errs[i]}) //beaconlint:allow nodeterminism wall-clock feeds JobEvent.Wall progress provenance only, never simulated results
 					}
 					cancel()
 				}
 			}()
 			v, err := job.Fn(ctx)
 			if observe != nil {
-				observe(JobEvent{Label: label, Wall: time.Since(start), Err: err})
+				observe(JobEvent{Label: label, Wall: time.Since(start), Err: err}) //beaconlint:allow nodeterminism wall-clock feeds JobEvent.Wall progress provenance only, never simulated results
 			}
 			if err != nil {
 				errs[i] = fmt.Errorf("runner: %s: %w", label, err)

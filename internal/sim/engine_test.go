@@ -76,7 +76,7 @@ func TestEngineNegativeDelayPanics(t *testing.T) {
 			t.Fatal("expected panic on negative delay")
 		}
 	}()
-	NewEngine().Schedule(-1, func() {})
+	NewEngine().Schedule(-1, func() {}) //beaconlint:allow cycleclock this test asserts the negative-delay panic path
 }
 
 // Regression: an event scheduled in the past must be rejected — dropped and

@@ -1,0 +1,206 @@
+// Package analysistest checks analyzers against fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture sources
+// carry `// want "regexp"` comments naming the diagnostics that must be
+// reported on that line, and the harness fails on any mismatch in either
+// direction — a missing diagnostic and an unexpected one are both errors.
+//
+// Fixtures live under testdata/src/<name>/ and are loaded as a single
+// package with a caller-chosen import path (analyzers apply package-path
+// policy, e.g. goroutinescope's allowlist). Fixture imports resolve
+// against real export data from the enclosing module's build, so fixtures
+// can exercise type-specific sinks like sim.Engine.Schedule.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/directive"
+	"beacon/tools/beaconlint/load"
+)
+
+// fixtureImports are the import paths fixture packages may use. Export
+// data is resolved once per test binary.
+var fixtureImports = []string{
+	"crypto/rand", "fmt", "io", "math/rand", "math/rand/v2", "os",
+	"sort", "strings", "sync", "testing", "time",
+	"beacon/internal/obs", "beacon/internal/sim",
+}
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+func exports(t *testing.T) map[string]string {
+	t.Helper()
+	exportOnce.Do(func() {
+		exportMap, exportErr = load.ExportMap("", fixtureImports...)
+	})
+	if exportErr != nil {
+		t.Fatalf("analysistest: resolving fixture export data: %v", exportErr)
+	}
+	return exportMap
+}
+
+// Config describes one fixture run.
+type Config struct {
+	// Dir is the fixture directory (usually testdata/src/<name>).
+	Dir string
+	// ImportPath is the package path the fixture is analyzed under.
+	ImportPath string
+	// Analyzers is the suite to apply.
+	Analyzers []*analysis.Analyzer
+	// Directives, when set, filters diagnostics through
+	// //beaconlint:allow handling (with Known as the registered set), so
+	// fixtures can assert suppression, missing-reason, and stale
+	// behavior.
+	Directives bool
+	// Known is the analyzer name set for directive validation; defaults
+	// to the names of Analyzers.
+	Known map[string]bool
+}
+
+// Run loads the fixture and compares reported diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, cfg Config) {
+	t.Helper()
+	files, err := fixtureFiles(cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := load.LoadFiles(fset, cfg.ImportPath, files, exports(t))
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", cfg.Dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range cfg.Analyzers {
+		a := a
+		pass := pkg.Pass(a, func(d analysis.Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s: %v", a.Name, err)
+		}
+	}
+	if cfg.Directives {
+		known := cfg.Known
+		if known == nil {
+			known = map[string]bool{}
+			for _, a := range cfg.Analyzers {
+				known[a.Name] = true
+			}
+		}
+		diags = directive.Apply(fset, directive.Collect(fset, pkg.Files), diags, known)
+	}
+
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !consume(wants, key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	leftover := make([]string, 0)
+	for key, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, fmt.Sprintf("%s: no diagnostic matching %q", key, re.String()))
+		}
+	}
+	sort.Strings(leftover)
+	for _, msg := range leftover {
+		t.Error(msg)
+	}
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+// wantRE matches a want comment; expectations follow as quoted Go strings.
+var (
+	wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	exprRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// consume matches message against one pending expectation at key and
+// removes it.
+func consume(wants map[string][]*regexp.Regexp, key, message string) bool {
+	for i, re := range wants[key] {
+		if re.MatchString(message) {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+			if len(wants[key]) == 0 {
+				delete(wants, key)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func parseWants(files []string) (map[string][]*regexp.Regexp, error) {
+	wants := map[string][]*regexp.Regexp{}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", file, i+1)
+			for _, quoted := range exprRE.FindAllString(m[1], -1) {
+				pattern, err := strconv.Unquote(quoted)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want expression %s: %w", key, quoted, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %s: %w", key, quoted, err)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,32 @@
+// Package analyzers registers the beaconlint analyzer suite.
+package analyzers
+
+import (
+	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/analyzers/cycleclock"
+	"beacon/tools/beaconlint/analyzers/floatacc"
+	"beacon/tools/beaconlint/analyzers/goroutinescope"
+	"beacon/tools/beaconlint/analyzers/maporder"
+	"beacon/tools/beaconlint/analyzers/nodeterminism"
+)
+
+// All returns the full suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cycleclock.Analyzer,
+		floatacc.Analyzer,
+		goroutinescope.Analyzer,
+		maporder.Analyzer,
+		nodeterminism.Analyzer,
+	}
+}
+
+// Names returns the set of registered analyzer names, for directive
+// validation.
+func Names() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}

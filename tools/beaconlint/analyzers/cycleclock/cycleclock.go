@@ -1,0 +1,90 @@
+// Package cycleclock enforces the simulator kernel's scheduling contract
+// at call sites.
+//
+// PR 3 made sim.Engine reject events scheduled in the past: ScheduleAt
+// records the violation and Run/RunUntil return it instead of executing on
+// a corrupted timeline. That protection only works if callers look at the
+// returned error. This analyzer closes both gaps statically:
+//
+//   - a constant negative delay passed to Engine.Schedule is reported at
+//     the call (it would panic at runtime — catch it at compile time);
+//   - the error result of Engine.Run / Engine.RunUntil must not be
+//     discarded, neither by an expression statement nor by assigning the
+//     error position to the blank identifier.
+package cycleclock
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"beacon/tools/beaconlint/analysis"
+)
+
+// Analyzer is the cycleclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "cycleclock",
+	Doc:  "require non-negative sim.Engine delays and checked Run/RunUntil errors",
+	Run:  run,
+}
+
+const simPkg = "beacon/internal/sim"
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := analysis.CalleeFunc(info, n)
+				if analysis.IsMethod(fn, simPkg, "Engine", "Schedule") && len(n.Args) >= 1 {
+					if tv, ok := info.Types[n.Args[0]]; ok && tv.Value != nil &&
+						tv.Value.Kind() == constant.Int && constant.Sign(tv.Value) < 0 {
+						pass.Reportf(n.Args[0].Pos(), "negative delay %s passed to (*sim.Engine).Schedule; delays are relative cycles and must be >= 0", tv.Value)
+					}
+				}
+			case *ast.ExprStmt:
+				if fn, call := runCall(pass, n.X); fn != "" {
+					pass.Reportf(call.Pos(), "error result of (*sim.Engine).%s discarded; a dropped past-cycle violation corrupts the timeline silently", fn)
+				}
+			case *ast.GoStmt:
+				if fn, call := runCall(pass, n.Call); fn != "" {
+					pass.Reportf(call.Pos(), "error result of (*sim.Engine).%s discarded; a dropped past-cycle violation corrupts the timeline silently", fn)
+				}
+			case *ast.DeferStmt:
+				if fn, call := runCall(pass, n.Call); fn != "" {
+					pass.Reportf(call.Pos(), "error result of (*sim.Engine).%s discarded; a dropped past-cycle violation corrupts the timeline silently", fn)
+				}
+			case *ast.AssignStmt:
+				// cycles, _ := eng.Run() — the error position is blanked.
+				if len(n.Rhs) != 1 || len(n.Lhs) != 2 {
+					return true
+				}
+				fn, call := runCall(pass, n.Rhs[0])
+				if fn == "" {
+					return true
+				}
+				if id, ok := n.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "error result of (*sim.Engine).%s assigned to the blank identifier; check it", fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// runCall reports whether expr is a call to Engine.Run or Engine.RunUntil,
+// returning the method name and the call.
+func runCall(pass *analysis.Pass, expr ast.Expr) (string, *ast.CallExpr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", nil
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	for _, name := range []string{"Run", "RunUntil"} {
+		if analysis.IsMethod(fn, simPkg, "Engine", name) {
+			return name, call
+		}
+	}
+	return "", nil
+}

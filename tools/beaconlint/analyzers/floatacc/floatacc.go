@@ -1,0 +1,94 @@
+// Package floatacc flags floating-point accumulation whose addition order
+// is not deterministic.
+//
+// Float addition is not associative: (a+b)+c differs from a+(b+c) in the
+// last ulp, and the repository's reports compare byte-identical. Two
+// accumulation shapes have nondeterministic order and are rejected:
+//
+//   - accumulating into a float declared outside a `range` over a map
+//     (iteration order is randomized per run);
+//   - accumulating partial sums into a shared float from inside a
+//     goroutine (completion order is scheduler-dependent). Partial sums
+//     must be collected per job and reduced in index order, the way
+//     internal/runner returns results.
+package floatacc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"beacon/tools/beaconlint/analysis"
+)
+
+// Analyzer is the floatacc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatacc",
+	Doc:  "flag order-nondeterministic float accumulation (map iteration, goroutine-joined sums)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				reportFloatAccum(pass, n.Body, n.Pos(), n.End(),
+					"float accumulation over map iteration; addition order changes the result bytes — iterate sorted keys")
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					reportFloatAccum(pass, lit.Body, lit.Pos(), lit.End(),
+						"float accumulation into shared state from a goroutine; reduce per-job partial sums in index order instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportFloatAccum reports compound float accumulation inside body into
+// variables declared outside [lo, hi].
+func reportFloatAccum(pass *analysis.Pass, body *ast.BlockStmt, lo, hi token.Pos, msg string) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			t := info.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			basic, ok := t.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsFloat == 0 {
+				continue
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				if analysis.DeclaredWithin(obj, lo, hi) {
+					continue // loop/goroutine-local scratch
+				}
+			}
+			pass.Reportf(as.Pos(), "%s", msg)
+		}
+		return true
+	})
+}

@@ -1,0 +1,64 @@
+// Package goroutinescope confines raw concurrency to the two packages that
+// own it.
+//
+// The repository's parallelism contract: every concurrent execution path
+// flows through internal/runner's deterministic job pool (bounded slots,
+// insertion-order aggregation), and internal/obs may use the usual sync
+// primitives to make observation thread-safe. Everywhere else, a `go`
+// statement, a raw channel, or a hand-rolled sync.WaitGroup fan-out is a
+// bypass of the pool — it escapes the global -jobs bound and reintroduces
+// completion-order nondeterminism the runner exists to remove.
+package goroutinescope
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"beacon/tools/beaconlint/analysis"
+)
+
+// Analyzer is the goroutinescope analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinescope",
+	Doc:  "confine go statements, channels, and WaitGroup fan-out to internal/runner and internal/obs",
+	Run:  run,
+}
+
+// allowedPrefixes are the package-path prefixes that own raw concurrency.
+var allowedPrefixes = []string{
+	"beacon/internal/runner",
+	"beacon/internal/obs",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, prefix := range allowedPrefixes {
+		if strings.HasPrefix(pass.PkgPath, prefix) {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement outside internal/runner; submit jobs to the deterministic pool (runner.Run) instead")
+			case *ast.CallExpr:
+				if b, ok := analysis.Callee(pass.TypesInfo, n).(*types.Builtin); ok && b.Name() == "make" && len(n.Args) > 0 {
+					if t := pass.TypesInfo.TypeOf(n.Args[0]); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							pass.Reportf(n.Pos(), "channel creation outside internal/runner; route fan-out through the deterministic pool instead")
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if tn, ok := pass.TypesInfo.Uses[n.Sel].(*types.TypeName); ok {
+					if p := tn.Pkg(); p != nil && p.Path() == "sync" && tn.Name() == "WaitGroup" {
+						pass.Reportf(n.Pos(), "sync.WaitGroup outside internal/runner; hand-rolled fan-out bypasses the deterministic pool")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/analysistest"
+	"beacon/tools/beaconlint/analyzers"
+	"beacon/tools/beaconlint/analyzers/cycleclock"
+	"beacon/tools/beaconlint/analyzers/floatacc"
+	"beacon/tools/beaconlint/analyzers/goroutinescope"
+	"beacon/tools/beaconlint/analyzers/maporder"
+	"beacon/tools/beaconlint/analyzers/nodeterminism"
+)
+
+// TestAnalyzers runs every analyzer against its golden fixture. Each
+// fixture package carries `// want "regexp"` comments for the diagnostics
+// that must appear; lines without a want comment must stay clean.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		fixture    string
+		importPath string
+		analyzers  []*analysis.Analyzer
+		directives bool
+	}{
+		// Wall clock, global rand, crypto entropy, process identity.
+		{"nodeterminism", "beacon/fixtures/nodeterm", []*analysis.Analyzer{nodeterminism.Analyzer}, false},
+		// package main is exempt: cmd wiring may read the wall clock.
+		{"nodeterminism_main", "beacon/fixtures/ndmain", []*analysis.Analyzer{nodeterminism.Analyzer}, false},
+		// Order-dependent effects under map ranges, and the exemptions.
+		{"maporder", "beacon/fixtures/mapord", []*analysis.Analyzer{maporder.Analyzer}, false},
+		// Raw concurrency outside the sanctioned packages.
+		{"goroutinescope", "beacon/fixtures/gscope", []*analysis.Analyzer{goroutinescope.Analyzer}, false},
+		// The identical constructs are legal under internal/runner.
+		{"goroutinescope_allowed", "beacon/internal/runner/runnerx", []*analysis.Analyzer{goroutinescope.Analyzer}, false},
+		// Negative constant delays and dropped Run/RunUntil errors.
+		{"cycleclock", "beacon/fixtures/cclock", []*analysis.Analyzer{cycleclock.Analyzer}, false},
+		// Float accumulation under map iteration or from goroutines.
+		{"floatacc", "beacon/fixtures/facc", []*analysis.Analyzer{floatacc.Analyzer}, false},
+		// //beaconlint:allow: reasoned directives suppress; reasonless,
+		// stale, unknown-analyzer, and empty directives are diagnostics.
+		{"directives", "beacon/fixtures/direct", analyzers.All(), true},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.fixture, func(t *testing.T) {
+			analysistest.Run(t, analysistest.Config{
+				Dir:        filepath.Join("testdata", "src", tt.fixture),
+				ImportPath: tt.importPath,
+				Analyzers:  tt.analyzers,
+				Directives: tt.directives,
+				Known:      analyzers.Names(),
+			})
+		})
+	}
+}

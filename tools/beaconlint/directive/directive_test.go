@@ -1,0 +1,49 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func collectSrc(t *testing.T, src string) []*Directive {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Collect(fset, []*ast.File{file})
+}
+
+func TestCollectParsing(t *testing.T) {
+	src := `package p
+
+var a = 1 //beaconlint:allow nodeterminism wall clock is provenance only
+var b = 2 //beaconlint:allow cycleclock,maporder shared reason text
+var c = 3 //beaconlint:allow nodeterminism reason // trailing commentary ignored
+var d = 4 //beaconlint:allow
+var e = 5 //beaconlint:allowother not a directive at all
+`
+	dirs := collectSrc(t, src)
+	if len(dirs) != 4 {
+		t.Fatalf("got %d directives, want 4", len(dirs))
+	}
+	if got := dirs[0].Analyzers; !reflect.DeepEqual(got, []string{"nodeterminism"}) {
+		t.Errorf("dirs[0].Analyzers = %v", got)
+	}
+	if got := dirs[0].Reason; got != "wall clock is provenance only" {
+		t.Errorf("dirs[0].Reason = %q", got)
+	}
+	if got := dirs[1].Analyzers; !reflect.DeepEqual(got, []string{"cycleclock", "maporder"}) {
+		t.Errorf("dirs[1].Analyzers = %v", got)
+	}
+	if got := dirs[2].Reason; got != "reason" {
+		t.Errorf("dirs[2].Reason = %q (nested // must end the directive)", got)
+	}
+	if dirs[3].Analyzers != nil || dirs[3].Reason != "" {
+		t.Errorf("dirs[3] = %+v, want empty directive", dirs[3])
+	}
+}

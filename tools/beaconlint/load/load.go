@@ -1,0 +1,277 @@
+// Package load turns package patterns into type-checked syntax without
+// depending on golang.org/x/tools/go/packages. It drives the go command for
+// metadata (`go list -json`) and for compiled export data
+// (`go list -export`), parses the target packages' sources itself, and
+// type-checks them with the standard library's gc export-data importer.
+//
+// The resulting Package values carry everything beaconlint's analyzers
+// need: syntax with comments, a *types.Package, and a fully populated
+// *types.Info. Target packages are checked from source; their dependencies
+// are imported from export data, so a whole-module run only parses the
+// module's own files.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"beacon/tools/beaconlint/analysis"
+)
+
+// Package is one unit of analysis: either a module package augmented with
+// its in-package test files, or an external (_test) test package.
+type Package struct {
+	// Path is the import path ("_test"-suffixed for external test pkgs).
+	Path string
+	// Fset is the shared file set positions resolve against.
+	Fset *token.FileSet
+	// Files is the parsed syntax, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the type-checker's facts about Files.
+	Info *types.Info
+}
+
+// Pass adapts the package for one analyzer, routing diagnostics to report.
+func (p *Package) Pass(a *analysis.Analyzer, report func(analysis.Diagnostic)) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		PkgPath:   p.Path,
+		TypesInfo: p.Info,
+		Report:    report,
+	}
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	Standard     bool
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Error        *struct{ Err string }
+}
+
+// Config controls a Load.
+type Config struct {
+	// Dir is the module directory go commands run in ("" = cwd).
+	Dir string
+	// Tests selects whether _test.go files are loaded and external test
+	// packages produced.
+	Tests bool
+	// Fset receives all parsed files; a fresh set is made when nil.
+	Fset *token.FileSet
+}
+
+// Load resolves patterns to packages and type-checks each from source.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if cfg.Fset == nil {
+		cfg.Fset = token.NewFileSet()
+	}
+	targets, err := goList(cfg.Dir, nil, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("load: no packages match %v", patterns)
+	}
+
+	// Collect every import path any target (or its test files) mentions,
+	// then resolve export data for all of them and their dependencies in
+	// one go invocation.
+	need := map[string]bool{}
+	for _, t := range targets {
+		need[t.ImportPath] = true
+		for _, lists := range [][]string{t.Imports, t.TestImports, t.XTestImports} {
+			for _, imp := range lists {
+				need[imp] = true
+			}
+		}
+	}
+	delete(need, "unsafe") // no export data; the gc importer special-cases it
+	delete(need, "C")
+	paths := make([]string, 0, len(need))
+	for p := range need {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exported, err := goList(cfg.Dir, []string{"-export", "-deps"}, paths...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range exported {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	imp := newExportImporter(cfg.Fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		files := append([]string{}, t.GoFiles...)
+		if cfg.Tests {
+			files = append(files, t.TestGoFiles...)
+		}
+		pkg, err := check(cfg.Fset, imp, t.Dir, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		if cfg.Tests && len(t.XTestGoFiles) > 0 {
+			// The external test package imports the package under test;
+			// resolve that import to the source-checked (test-augmented)
+			// package rather than export data, so exported test helpers
+			// declared in _test.go files are visible.
+			ximp := &overrideImporter{base: imp, override: map[string]*types.Package{t.ImportPath: pkg.Types}}
+			xpkg, err := check(cfg.Fset, ximp, t.Dir, t.ImportPath+"_test", t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadFiles parses and type-checks an explicit file list as one package with
+// the given import path, importing dependencies from exports (a map from
+// import path to export-data file, e.g. from ExportMap). The analysistest
+// harness uses it for testdata fixtures, which live outside the module.
+func LoadFiles(fset *token.FileSet, importPath string, files []string, exports map[string]string) (*Package, error) {
+	imp := newExportImporter(fset, exports)
+	return check(fset, imp, "", importPath, files)
+}
+
+// ExportMap resolves export-data files for the given import paths and all
+// their dependencies, running go from dir.
+func ExportMap(dir string, paths ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, []string{"-export", "-deps"}, paths...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewInfo returns a types.Info with every fact map analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+func check(fset *token.FileSet, imp types.Importer, dir, importPath string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		path := name
+		if dir != "" && !filepath.IsAbs(name) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: syntax, Types: tpkg, Info: info}, nil
+}
+
+// newExportImporter wires the standard gc importer to a path→file map of
+// compiled export data produced by `go list -export`.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// overrideImporter resolves some import paths to already-checked packages
+// and defers the rest to a base importer.
+type overrideImporter struct {
+	base     types.Importer
+	override map[string]*types.Package
+}
+
+func (o *overrideImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := o.override[path]; ok {
+		return pkg, nil
+	}
+	return o.base.Import(path)
+}
+
+func goList(dir string, flags []string, patterns ...string) ([]listPackage, error) {
+	args := append([]string{"list", "-json"}, flags...)
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []listPackage
+	seen := map[string]bool{}
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

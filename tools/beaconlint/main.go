@@ -1,0 +1,105 @@
+// Command beaconlint runs the repository's determinism analyzers.
+//
+// Standalone (the common entry point, also behind `make lint`):
+//
+//	go run ./tools/beaconlint ./...
+//
+// As a go vet tool (same diagnostics, vet's caching and per-package
+// scheduling):
+//
+//	go build -o beaconlint.exe ./tools/beaconlint
+//	go vet -vettool=$PWD/beaconlint.exe ./...
+//
+// The suite enforces invariants the test suite can only sample:
+// nodeterminism (no wall clock / ambient entropy in simulator code),
+// maporder (no order-dependent effects under map iteration),
+// goroutinescope (all parallelism behind internal/runner's pool),
+// cycleclock (no negative delays, no dropped Engine.Run errors), and
+// floatacc (no order-nondeterministic float accumulation). Suppressions
+// use //beaconlint:allow <analyzer> <reason>; see package directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/analyzers"
+	"beacon/tools/beaconlint/directive"
+	"beacon/tools/beaconlint/load"
+)
+
+func main() {
+	// go vet probes its -vettool before use; answer the protocol first.
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			// The output feeds vet's content hash; any stable string works.
+			fmt.Println("beaconlint version determinism-suite-1")
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]") // no tool-specific flags to forward
+			return
+		}
+	}
+	if n := len(args); n > 0 && len(args[n-1]) > 4 && args[n-1][len(args[n-1])-4:] == ".cfg" {
+		os.Exit(unitcheckerMain(args[n-1]))
+	}
+
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	noTests := flag.Bool("notests", false, "skip _test.go files and external test packages")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(load.Config{Tests: !*noTests, Fset: fset}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beaconlint:", err)
+		os.Exit(1)
+	}
+
+	known := analyzers.Names()
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := runSuite(pkg, known)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beaconlint:", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+// runSuite applies every analyzer to pkg and filters the result through the
+// package's //beaconlint:allow directives.
+func runSuite(pkg *load.Package, known map[string]bool) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers.All() {
+		a := a
+		pass := pkg.Pass(a, func(d analysis.Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	dirs := directive.Collect(pkg.Fset, pkg.Files)
+	return directive.Apply(pkg.Fset, dirs, diags, known), nil
+}

@@ -1,0 +1,34 @@
+// Package direct exercises //beaconlint:allow handling: a directive with a
+// reason suppresses (inline or from the line above), a directive without a
+// reason is itself an error, and a stale or malformed directive is
+// reported.
+package direct
+
+import "time"
+
+func suppressedInline() time.Time {
+	return time.Now() //beaconlint:allow nodeterminism fixture: provenance only
+}
+
+func suppressedFromAbove() time.Time {
+	//beaconlint:allow nodeterminism fixture: provenance only
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	return time.Now() //beaconlint:allow nodeterminism // want `directive has no reason` `wall-clock call time\.Now`
+}
+
+func staleDirective() int {
+	x := 1 //beaconlint:allow nodeterminism nothing left to excuse // want `stale beaconlint:allow: no nodeterminism diagnostic here anymore`
+	return x
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() //beaconlint:allow nosuchcheck fixture reason // want `unknown analyzer "nosuchcheck"` `wall-clock call time\.Now`
+}
+
+func namesNoAnalyzer() int {
+	y := 2 //beaconlint:allow // want `names no analyzer`
+	return y
+}

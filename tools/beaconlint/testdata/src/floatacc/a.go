@@ -1,0 +1,56 @@
+// Package facc exercises the floatacc analyzer: order-nondeterministic
+// float accumulation is diagnosed; integer sums and sorted-order float
+// sums are not.
+package facc
+
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation over map iteration`
+	}
+	return sum
+}
+
+func mapProduct(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `float accumulation over map iteration`
+	}
+	return p
+}
+
+func intSumOK(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer addition is associative: no diagnostic
+		n += v
+	}
+	return n
+}
+
+func sortedSumOK(m map[string]float64, keys []string) float64 {
+	var sum float64
+	for _, k := range keys { // slice iteration fixes the order
+		sum += m[k]
+	}
+	return sum
+}
+
+func loopLocalOK(m map[string]float64) float64 {
+	var last float64
+	for _, v := range m {
+		scratch := 0.0
+		scratch += v // loop-local: each iteration's sum is independent
+		last = scratch
+	}
+	return last
+}
+
+func goroutineSum(parts []float64) float64 {
+	var total float64
+	for i := range parts {
+		go func(i int) {
+			total += parts[i] // want `float accumulation into shared state from a goroutine`
+		}(i)
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+// Package gscope exercises the goroutinescope analyzer outside the
+// allowed packages: raw fan-out primitives are diagnosed.
+package gscope
+
+import "sync"
+
+func spawn(fns []func()) {
+	var wg sync.WaitGroup   // want `sync\.WaitGroup outside internal/runner`
+	ch := make(chan int, 1) // want `channel creation outside internal/runner`
+	for _, fn := range fns {
+		go fn() // want `go statement outside internal/runner`
+	}
+	<-ch
+	wg.Wait()
+}
+
+func mutexOK() {
+	var mu sync.Mutex // plain mutexes are not fan-out; no diagnostic
+	mu.Lock()
+	defer mu.Unlock()
+}

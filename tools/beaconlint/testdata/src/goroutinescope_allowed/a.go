@@ -1,0 +1,20 @@
+// Package runnerx is loaded under a beacon/internal/runner/... import
+// path: the pool implementation owns raw concurrency, so nothing here is
+// diagnosed.
+package runnerx
+
+import "sync"
+
+func fanOut(fns []func()) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+	close(done)
+}

@@ -1,0 +1,12 @@
+// Command packages are exempt from nodeterminism: CLIs report wall time.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

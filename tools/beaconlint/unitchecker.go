@@ -1,0 +1,102 @@
+// go vet -vettool mode. The go command drives a vet tool once per package:
+// it writes a JSON "vet config" describing the package (sources, import
+// map, export-data files for every dependency) and invokes the tool with
+// that file as its only argument. The tool type-checks from the config,
+// reports diagnostics on stderr with exit code 2, and must write the facts
+// file the config names (beaconlint has no facts; an empty file satisfies
+// the protocol).
+//
+// This mirrors golang.org/x/tools/go/analysis/unitchecker, which the
+// module does not depend on.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"beacon/tools/beaconlint/analyzers"
+	"beacon/tools/beaconlint/load"
+)
+
+// vetConfig is the subset of cmd/go's vet config beaconlint consumes.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheckerMain(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beaconlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "beaconlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The facts file must exist even for packages we only visit as
+	// dependencies.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "beaconlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	// Route source-level import paths through the config's import map so
+	// lookups hit the canonical export entries.
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+
+	// Vet names test variants "pkg [pkg.test]" and "pkg_test [pkg.test]";
+	// analyzers key package-path policy off the plain path.
+	path := cfg.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+
+	pkg, err := load.LoadFiles(fset, path, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "beaconlint:", err)
+		return 1
+	}
+	diags, err := runSuite(pkg, analyzers.Names())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beaconlint:", err)
+		return 1
+	}
+	exit := 0
+	w := io.Writer(os.Stderr)
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		exit = 2
+	}
+	return exit
+}
