@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint beaconlint fmt tidy-check
+.PHONY: all build test race bench lint beaconlint fmt tidy-check
 
 all: build test
 
@@ -12,7 +12,13 @@ test:
 
 # Race-detector pass over the packages that create or drive goroutines.
 race:
-	$(GO) test -race -timeout 15m . ./internal/runner ./internal/obs ./internal/fault ./internal/sim
+	$(GO) test -race -timeout 15m . ./internal/runner ./internal/obs ./internal/fault ./internal/sim ./internal/wcache
+
+# Trace-pipeline benchmarks plus the committed comparison artifact
+# (BENCH_trace.json: cold build vs cache-hit construction).
+bench:
+	$(GO) test -run=NONE -bench='BenchmarkWorkload|BenchmarkEncodeWorkload|BenchmarkDecodeWorkload|BenchmarkBuilder' -benchtime=1x . ./internal/trace
+	BEACON_BENCH_TRACE=BENCH_trace.json $(GO) test -run TestBenchTraceArtifact -v .
 
 # The repository's determinism analyzers (see DESIGN.md §4d). Exits
 # non-zero on any diagnostic; suppressions need //beaconlint:allow.

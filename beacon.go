@@ -5,13 +5,14 @@
 //
 // The public API has three layers:
 //
-//   - Workloads: NewFMSeedingWorkload, NewHashSeedingWorkload,
-//     NewKmerCountingWorkload, NewPreAlignmentWorkload run the real genomics
-//     kernels on synthetic datasets and capture the memory traces the
-//     accelerator would execute.
-//   - Platforms: Simulate replays a workload on a platform — the CPU
-//     software baseline, the MEDAL/NEST-style DDR-DIMM accelerators, or
-//     BEACON-D / BEACON-S with any subset of the paper's optimizations.
+//   - Workloads: NewWorkload (and the per-application constructors) runs
+//     the real genomics kernels on synthetic datasets and captures the
+//     memory traces the accelerator would execute; NewWorkloadCached backs
+//     construction with a content-addressed on-disk cache.
+//   - Platforms: Run replays a workload on a platform — the CPU software
+//     baseline, the MEDAL/NEST-style DDR-DIMM accelerators, or BEACON-D /
+//     BEACON-S with any subset of the paper's optimizations — with options
+//     for observability, fault injection and multi-tenant co-location.
 //   - Experiments: the Figure…/Table… functions in experiments.go regenerate
 //     every table and figure of the paper's evaluation section.
 //
@@ -108,7 +109,7 @@ func (s Species) internal() (genome.Species, error) {
 	case Human:
 		return genome.HumanLike, nil
 	}
-	return 0, fmt.Errorf("beacon: unknown species %q", string(s))
+	return 0, fmt.Errorf("%w: %q", ErrUnknownSpecies, string(s))
 }
 
 // KmerFlow selects the counting algorithm variant (§IV-D).
@@ -181,13 +182,13 @@ func DefaultWorkloadConfig(sp Species) WorkloadConfig {
 
 func (c WorkloadConfig) validate() error {
 	if c.GenomeScale <= 0 {
-		return fmt.Errorf("beacon: genome scale must be positive")
+		return fmt.Errorf("%w: genome scale must be positive", ErrBadConfig)
 	}
 	if c.Reads <= 0 {
-		return fmt.Errorf("beacon: read count must be positive")
+		return fmt.Errorf("%w: read count must be positive", ErrBadConfig)
 	}
 	if c.ReadLength <= 0 {
-		return fmt.Errorf("beacon: read length must be positive")
+		return fmt.Errorf("%w: read length must be positive", ErrBadConfig)
 	}
 	return nil
 }
@@ -335,7 +336,7 @@ func NewKmerCountingWorkload(cfg WorkloadConfig) (*Workload, error) {
 		name = fmt.Sprintf("kmer-singlepass/%s", cfg.Species)
 		res, err = kmer.CountSinglePass(reads, kcfg, name)
 	default:
-		return nil, fmt.Errorf("beacon: unknown k-mer flow %d", cfg.Flow)
+		return nil, fmt.Errorf("%w: unknown k-mer flow %d", ErrBadConfig, cfg.Flow)
 	}
 	if err != nil {
 		return nil, err
@@ -389,7 +390,7 @@ func NewWorkload(app Application, cfg WorkloadConfig) (*Workload, error) {
 	case PreAlignment:
 		return NewPreAlignmentWorkload(cfg)
 	}
-	return nil, fmt.Errorf("beacon: unknown application %d", int(app))
+	return nil, fmt.Errorf("%w: %v", ErrUnsupportedApp, app)
 }
 
 // internalTrace exposes a workload's trace to same-package harness code

@@ -31,6 +31,10 @@ type workloadCache struct {
 	mu     sync.Mutex
 	m      map[workloadKey]*workloadEntry
 	builds atomic.Int64
+	// disk, when non-nil, backs first-use builds with the on-disk
+	// content-addressed cache: a disk hit decodes the stored trace instead
+	// of re-running the functional phase.
+	disk *WorkloadCache
 }
 
 type workloadEntry struct {
@@ -55,7 +59,7 @@ func (c *workloadCache) get(app Application, cfg WorkloadConfig) (*Workload, err
 	c.mu.Unlock()
 	e.once.Do(func() {
 		c.builds.Add(1)
-		e.wl, e.err = NewWorkload(app, cfg)
+		e.wl, e.err = NewWorkloadCached(app, cfg, c.disk)
 	})
 	return e.wl, e.err
 }

@@ -105,12 +105,18 @@ func main() {
 
 	fmt.Println(obs.NewProvenance(cfg, cfg.Seed).Header(0))
 
-	wl, err := beacon.NewWorkload(a, cfg)
+	wc := openWorkloadCache(of)
+	wl, err := beacon.NewWorkloadCached(a, cfg, wc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("workload %s: %d tasks, %d steps, %.1f MiB footprint (functionally verified: %v)\n",
 		wl.Name, wl.Tasks, wl.Steps, float64(wl.FootprintBytes)/(1<<20), wl.Verified)
+	if wc != nil {
+		if st := wc.Stats(); st.Hits > 0 {
+			fmt.Printf("workload cache: hit (%s)\n", wc.Dir())
+		}
+	}
 
 	opts := beacon.AllOptimizations()
 	if *vanilla {
@@ -142,7 +148,11 @@ func main() {
 		simJobs[i] = runner.Job[*beacon.Report]{
 			Label: label,
 			Fn: func(context.Context) (*beacon.Report, error) {
-				return beacon.SimulateObserved(p, wl, col.New(label))
+				res, err := beacon.Run(p, wl, beacon.WithObserver(col.New(label)))
+				if err != nil {
+					return nil, err
+				}
+				return res.Report, nil
 			},
 		}
 	}
@@ -165,6 +175,22 @@ func main() {
 	}
 	stopProfiles()
 	os.Exit(0)
+}
+
+// openWorkloadCache resolves -workload-cache. The cache is a pure
+// accelerant, so an unopenable directory degrades to a cold build with a
+// warning instead of failing the run.
+func openWorkloadCache(of *cliutil.Flags) *beacon.WorkloadCache {
+	dir, enabled := of.WorkloadCacheDir()
+	if !enabled {
+		return nil
+	}
+	wc, err := beacon.OpenWorkloadCache(dir)
+	if err != nil {
+		log.Printf("workload cache disabled: %v", err)
+		return nil
+	}
+	return wc
 }
 
 // optsName names the optimization position for job labels.

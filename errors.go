@@ -1,0 +1,27 @@
+package beacon
+
+import (
+	"errors"
+
+	"beacon/internal/wcache"
+)
+
+// Sentinel errors for programmatic matching with errors.Is. Every
+// constructor and the workload cache wrap these (via %w), so callers can
+// branch on the failure class without parsing messages — the message text
+// stays free to improve.
+var (
+	// ErrBadConfig reports an unusable WorkloadConfig (or an invalid
+	// combination of Run options).
+	ErrBadConfig = errors.New("beacon: bad workload config")
+	// ErrUnknownSpecies reports a Species outside the evaluation datasets.
+	ErrUnknownSpecies = errors.New("beacon: unknown species")
+	// ErrUnsupportedApp reports an Application NewWorkload cannot build
+	// (the §V extension workloads have their own constructors).
+	ErrUnsupportedApp = errors.New("beacon: unsupported application")
+	// ErrCacheCorrupt reports a defective on-disk cache entry. The cache
+	// treats it as a miss — the entry is evicted and the workload rebuilt —
+	// so it surfaces only through WorkloadCache.Stats, never as a failure
+	// of NewWorkloadCached.
+	ErrCacheCorrupt = wcache.ErrCorrupt
+)

@@ -43,6 +43,9 @@ type Flags struct {
 	Faults string
 	// FaultSeed seeds the deterministic fault streams.
 	FaultSeed uint64
+	// WorkloadCache selects the on-disk workload cache: "auto" (the
+	// per-user default directory), "off", or an explicit directory.
+	WorkloadCache string
 }
 
 // Register installs the shared flags on the default flag set; call before
@@ -62,7 +65,23 @@ func Register(traceCap int) *Flags {
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file`")
 	flag.StringVar(&f.Faults, "faults", "off", "fault-injection `profile` for BEACON platforms (off, default, heavy)")
 	flag.Uint64Var(&f.FaultSeed, "fault-seed", 1, "`seed` for the deterministic fault streams")
+	flag.StringVar(&f.WorkloadCache, "workload-cache", "auto", "on-disk workload cache `dir` (auto = per-user default, off = disabled)")
 	return f
+}
+
+// WorkloadCacheDir resolves the -workload-cache flag: enabled=false for
+// "off", otherwise the directory to open ("" means the caller's default
+// location, for "auto"). cliutil cannot import the beacon facade, so the
+// caller performs the actual open.
+func (f *Flags) WorkloadCacheDir() (dir string, enabled bool) {
+	switch f.WorkloadCache {
+	case "off", "false", "no":
+		return "", false
+	case "auto", "":
+		return "", true
+	default:
+		return f.WorkloadCache, true
+	}
 }
 
 // FaultProfile resolves the -faults flag to a profile.

@@ -83,10 +83,10 @@ func SeedReadsMEM(idx *Index, reads []genome.Read, cfg MEMConfig, name string) (
 		return nil, nil, fmt.Errorf("fmindex: MEM max hits must be positive, got %d", cfg.MaxHits)
 	}
 	results := make([][]MEM, len(reads))
-	wl := &trace.Workload{Name: name, Passes: 1}
-	wl.SpaceBytes[trace.SpaceOcc] = idx.OccBytes()
-	wl.SpaceBytes[trace.SpaceSuffixArray] = idx.SABytes()
-	wl.SpaceBytes[trace.SpaceReads] = uint64(totalReadBytes(reads))
+	b := trace.NewBuilder(name)
+	b.SetSpaceBytes(trace.SpaceOcc, idx.OccBytes())
+	b.SetSpaceBytes(trace.SpaceSuffixArray, idx.SABytes())
+	b.SetSpaceBytes(trace.SpaceReads, uint64(totalReadBytes(reads)))
 
 	var readOff uint64
 	for ri := range reads {
@@ -94,8 +94,8 @@ func SeedReadsMEM(idx *Index, reads []genome.Read, cfg MEMConfig, name string) (
 		rb := uint32((read.Len() + 3) / 4)
 		end := read.Len()
 		for end > 0 {
-			task := trace.Task{Engine: trace.EngineFMIndex}
-			task.Steps = append(task.Steps, trace.Step{
+			b.BeginTask(trace.EngineFMIndex)
+			b.Step(trace.Step{
 				Op: trace.OpRead, Space: trace.SpaceReads,
 				Addr: readOff, Size: rb, Spatial: true, Light: true,
 			})
@@ -104,7 +104,7 @@ func SeedReadsMEM(idx *Index, reads []genome.Read, cfg MEMConfig, name string) (
 			lastNonEmpty := iv
 			for start > 0 {
 				if lastNonEmpty != idx.Full() {
-					emitOccAccesses(&task, lastNonEmpty)
+					emitOccAccesses(b, lastNonEmpty)
 				}
 				next := idx.Extend(lastNonEmpty, read.At(start-1))
 				if next.Empty() {
@@ -113,16 +113,16 @@ func SeedReadsMEM(idx *Index, reads []genome.Read, cfg MEMConfig, name string) (
 				lastNonEmpty = next
 				start--
 			}
-			wl.Tasks = append(wl.Tasks, task)
+			b.EndTask()
 			if end-start >= cfg.MinLen && lastNonEmpty != idx.Full() {
 				m := MEM{ReadStart: start, ReadEnd: end, Width: lastNonEmpty.Width()}
 				hits := 0
 				for r := lastNonEmpty.Lo; r < lastNonEmpty.Hi && hits < cfg.MaxHits; r++ {
-					locate := trace.Task{Engine: trace.EngineFMIndex}
+					b.BeginTask(trace.EngineFMIndex)
 					pos, steps := idx.locateOne(r)
 					cur := r
 					for s := 0; s < steps; s++ {
-						locate.Steps = append(locate.Steps, trace.Step{
+						b.Step(trace.Step{
 							Op: trace.OpRead, Space: trace.SpaceOcc,
 							Addr: uint64(BlockIndex(cur)) * BlockBytes, Size: BlockBytes,
 						})
@@ -132,11 +132,11 @@ func SeedReadsMEM(idx *Index, reads []genome.Read, cfg MEMConfig, name string) (
 						}
 						cur = idx.LF(genome.Base(sym-1), cur)
 					}
-					locate.Steps = append(locate.Steps, trace.Step{
+					b.Step(trace.Step{
 						Op: trace.OpRead, Space: trace.SpaceSuffixArray,
 						Addr: saEntryAddr(idx, pos, steps), Size: 4, Light: true,
 					})
-					wl.Tasks = append(wl.Tasks, locate)
+					b.EndTask()
 					m.Hits = append(m.Hits, pos)
 					hits++
 				}
@@ -150,7 +150,8 @@ func SeedReadsMEM(idx *Index, reads []genome.Read, cfg MEMConfig, name string) (
 		}
 		readOff += uint64(rb)
 	}
-	if err := wl.Validate(); err != nil {
+	wl, err := b.Finish()
+	if err != nil {
 		return nil, nil, err
 	}
 	return results, wl, nil

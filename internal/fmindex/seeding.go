@@ -57,10 +57,10 @@ func SeedReads(idx *Index, reads []genome.Read, cfg SeedingConfig, name string) 
 		return nil, nil, fmt.Errorf("fmindex: max hits must be positive, got %d", cfg.MaxHits)
 	}
 	results := make([]SeedingResult, len(reads))
-	wl := &trace.Workload{Name: name, Passes: 1}
-	wl.SpaceBytes[trace.SpaceOcc] = idx.OccBytes()
-	wl.SpaceBytes[trace.SpaceSuffixArray] = idx.SABytes()
-	wl.SpaceBytes[trace.SpaceReads] = uint64(totalReadBytes(reads))
+	b := trace.NewBuilder(name)
+	b.SetSpaceBytes(trace.SpaceOcc, idx.OccBytes())
+	b.SetSpaceBytes(trace.SpaceSuffixArray, idx.SABytes())
+	b.SetSpaceBytes(trace.SpaceReads, uint64(totalReadBytes(reads)))
 
 	var readOff uint64
 	for ri := range reads {
@@ -68,40 +68,40 @@ func SeedReads(idx *Index, reads []genome.Read, cfg SeedingConfig, name string) 
 		rb := uint32((read.Len() + 3) / 4)
 
 		for off := 0; off+cfg.SeedLen <= read.Len(); off += cfg.SeedLen {
-			task := trace.Task{Engine: trace.EngineFMIndex}
+			b.BeginTask(trace.EngineFMIndex)
 			// The seed's slice of the read streams in from the read buffer.
-			task.Steps = append(task.Steps, trace.Step{
+			b.Step(trace.Step{
 				Op: trace.OpRead, Space: trace.SpaceReads,
 				Addr: readOff + uint64(off/4), Size: (uint32(cfg.SeedLen) + 3) / 4,
 				Spatial: true, Light: true,
 			})
 			iv := idx.Full()
 			for i := off + cfg.SeedLen - 1; i >= off; i-- {
-				b := read.At(i)
+				sym := read.At(i)
 				// The first extension needs occ(b, 0) = 0 and occ(b, n) =
 				// count(b): both come from the C array, which lives in PE
 				// registers (it is five integers) — no memory access. Every
 				// later step fetches the interval bounds' Occ blocks.
 				if iv != idx.Full() {
-					emitOccAccesses(&task, iv)
+					emitOccAccesses(b, iv)
 				}
-				iv = idx.Extend(iv, b)
+				iv = idx.Extend(iv, sym)
 				if iv.Empty() {
 					break
 				}
 			}
-			wl.Tasks = append(wl.Tasks, task)
+			b.EndTask()
 			if iv.Empty() {
 				continue
 			}
 			// Locate up to MaxHits occurrences, one task per walk.
 			hits := 0
 			for r := iv.Lo; r < iv.Hi && hits < cfg.MaxHits; r++ {
-				locate := trace.Task{Engine: trace.EngineFMIndex}
+				b.BeginTask(trace.EngineFMIndex)
 				pos, steps := idx.locateOne(r)
 				cur := r
 				for s := 0; s < steps; s++ {
-					locate.Steps = append(locate.Steps, trace.Step{
+					b.Step(trace.Step{
 						Op: trace.OpRead, Space: trace.SpaceOcc,
 						Addr: uint64(BlockIndex(cur)) * BlockBytes, Size: BlockBytes,
 					})
@@ -111,34 +111,35 @@ func SeedReads(idx *Index, reads []genome.Read, cfg SeedingConfig, name string) 
 					}
 					cur = idx.LF(genome.Base(sym-1), cur)
 				}
-				locate.Steps = append(locate.Steps, trace.Step{
+				b.Step(trace.Step{
 					Op: trace.OpRead, Space: trace.SpaceSuffixArray,
 					Addr: saEntryAddr(idx, pos, steps), Size: 4, Light: true,
 				})
-				wl.Tasks = append(wl.Tasks, locate)
+				b.EndTask()
 				results[ri].Hits = append(results[ri].Hits, SeedHit{ReadOffset: off, RefPos: pos})
 				hits++
 			}
 		}
 		readOff += uint64(rb)
 	}
-	if err := wl.Validate(); err != nil {
+	wl, err := b.Finish()
+	if err != nil {
 		return nil, nil, err
 	}
 	return results, wl, nil
 }
 
 // emitOccAccesses appends the Occ block fetches for one extension step.
-func emitOccAccesses(task *trace.Task, iv Interval) {
+func emitOccAccesses(b *trace.Builder, iv Interval) {
 	loBlk := BlockIndex(iv.Lo)
 	hiBlk := BlockIndex(iv.Hi)
-	task.Steps = append(task.Steps, trace.Step{
+	b.Step(trace.Step{
 		Op: trace.OpRead, Space: trace.SpaceOcc,
 		Addr: uint64(loBlk) * BlockBytes, Size: BlockBytes,
 	})
 	if hiBlk != loBlk {
 		// Same extension, second interval bound: pipeline continuation.
-		task.Steps = append(task.Steps, trace.Step{
+		b.Step(trace.Step{
 			Op: trace.OpRead, Space: trace.SpaceOcc,
 			Addr: uint64(hiBlk) * BlockBytes, Size: BlockBytes, Light: true,
 		})

@@ -166,14 +166,14 @@ type Result struct {
 // it (§VI-C).
 func SeedReads(idx *Index, reads []genome.Read, name string) ([]Result, *trace.Workload, error) {
 	results := make([]Result, len(reads))
-	wl := &trace.Workload{Name: name, Passes: 1}
-	wl.SpaceBytes[trace.SpaceHashBucket] = idx.DirBytes()
-	wl.SpaceBytes[trace.SpaceCandidates] = idx.CandBytes()
+	b := trace.NewBuilder(name)
+	b.SetSpaceBytes(trace.SpaceHashBucket, idx.DirBytes())
+	b.SetSpaceBytes(trace.SpaceCandidates, idx.CandBytes())
 	var readBytes uint64
 	for i := range reads {
 		readBytes += uint64((reads[i].Seq.Len() + 3) / 4)
 	}
-	wl.SpaceBytes[trace.SpaceReads] = readBytes
+	b.SetSpaceBytes(trace.SpaceReads, readBytes)
 
 	k := idx.cfg.K
 	var readOff uint64
@@ -185,8 +185,8 @@ func SeedReads(idx *Index, reads []genome.Read, name string) ([]Result, *trace.W
 		// Task Scheduler runs them on different PEs concurrently (the same
 		// granularity MEDAL uses for FM seeding).
 		for off := 0; off+k <= read.Len(); off += k {
-			task := trace.Task{Engine: trace.EngineHashIndex}
-			task.Steps = append(task.Steps, trace.Step{
+			b.BeginTask(trace.EngineHashIndex)
+			b.Step(trace.Step{
 				Op: trace.OpRead, Space: trace.SpaceReads,
 				Addr: readOff + uint64(off/4), Size: uint32(k+3) / 4,
 				Spatial: true, Light: true,
@@ -199,12 +199,12 @@ func SeedReads(idx *Index, reads []genome.Read, name string) ([]Result, *trace.W
 				strands = strands[:1]
 			}
 			for si, m := range strands {
-				b := hashKmer(m, idx.buckets)
-				task.Steps = append(task.Steps, trace.Step{
+				bkt := hashKmer(m, idx.buckets)
+				b.Step(trace.Step{
 					Op: trace.OpRead, Space: trace.SpaceHashBucket,
-					Addr: uint64(b) * DirEntryBytes, Size: DirEntryBytes,
+					Addr: uint64(bkt) * DirEntryBytes, Size: DirEntryBytes,
 				})
-				cnt := idx.dirCnt[b]
+				cnt := idx.dirCnt[bkt]
 				if cnt == 0 {
 					continue
 				}
@@ -214,9 +214,9 @@ func SeedReads(idx *Index, reads []genome.Read, name string) ([]Result, *trace.W
 					// with collisions it reads at most a bounded overscan.
 					scan = uint32(idx.cfg.MaxHits) * 2
 				}
-				task.Steps = append(task.Steps, trace.Step{
+				b.Step(trace.Step{
 					Op: trace.OpRead, Space: trace.SpaceCandidates,
-					Addr: uint64(idx.dirOff[b]) * CandEntryBytes, Size: scan * CandEntryBytes,
+					Addr: uint64(idx.dirOff[bkt]) * CandEntryBytes, Size: scan * CandEntryBytes,
 					Spatial: true, Light: true,
 				})
 				for _, pos := range idx.Lookup(m, idx.cfg.MaxHits) {
@@ -225,11 +225,12 @@ func SeedReads(idx *Index, reads []genome.Read, name string) ([]Result, *trace.W
 					})
 				}
 			}
-			wl.Tasks = append(wl.Tasks, task)
+			b.EndTask()
 		}
 		readOff += uint64(rb)
 	}
-	if err := wl.Validate(); err != nil {
+	wl, err := b.Finish()
+	if err != nil {
 		return nil, nil, err
 	}
 	return results, wl, nil

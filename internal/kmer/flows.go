@@ -171,22 +171,22 @@ func CountSinglePass(reads []genome.Read, cfg Config, name string) (*FlowResult,
 func emitCountingTrace(reads []genome.Read, cfg Config, name string,
 	filter *CountingBloom, table Counts, res *FlowResult, multiPass bool) (*trace.Workload, error) {
 
-	wl := &trace.Workload{Name: name, Passes: 1}
-	wl.SpaceBytes[trace.SpaceBloom] = res.FilterBytes
-	wl.SpaceBytes[trace.SpaceCounters] = res.TableBytes
+	b := trace.NewBuilder(name)
+	b.SetSpaceBytes(trace.SpaceBloom, res.FilterBytes)
+	b.SetSpaceBytes(trace.SpaceCounters, res.TableBytes)
 	var readBytes uint64
 	for i := range reads {
 		readBytes += uint64((reads[i].Seq.Len() + 3) / 4)
 	}
 	// +8: batch slices round up to byte boundaries past the packed buffer.
-	wl.SpaceBytes[trace.SpaceReads] = readBytes + 8
+	b.SetSpaceBytes(trace.SpaceReads, readBytes+8)
 	if multiPass {
-		wl.Passes = 2
-		wl.LocalSpaces[trace.SpaceBloom] = true
-		wl.LocalSpaces[trace.SpaceCounters] = true
+		b.SetPasses(2)
+		b.SetLocalSpace(trace.SpaceBloom, true)
+		b.SetLocalSpace(trace.SpaceCounters, true)
 		// Local filters travel to the merge point and the merged filter is
 		// redistributed: two filter-sized transfers per participating node.
-		wl.MergeBytes = 2 * res.FilterBytes
+		b.SetMergeBytes(2 * res.FilterBytes)
 	}
 
 	k := cfg.K
@@ -209,9 +209,9 @@ func emitCountingTrace(reads []genome.Read, cfg Config, name string,
 				if end > nk {
 					end = nk
 				}
-				task := trace.Task{Engine: trace.EngineKMC}
+				b.BeginTask(trace.EngineKMC)
 				sliceBytes := uint32((end-base+k-1)+3) / 4
-				task.Steps = append(task.Steps, trace.Step{
+				b.Step(trace.Step{
 					Op: trace.OpRead, Space: trace.SpaceReads,
 					Addr: readOff + uint64(base/4), Size: sliceBytes + 1, Spatial: true, Light: true,
 				})
@@ -228,7 +228,7 @@ func emitCountingTrace(reads []genome.Read, cfg Config, name string,
 						// KMC engine's 59-cycle hash computation is charged
 						// once per k-mer; the remaining slot probes are
 						// pipeline continuations.
-						task.Steps = append(task.Steps, trace.Step{
+						b.Step(trace.Step{
 							Op: op, Space: trace.SpaceBloom, Addr: slot / 2, Size: 1,
 							Light: hi > 0,
 						})
@@ -240,14 +240,14 @@ func emitCountingTrace(reads []genome.Read, cfg Config, name string,
 						_, counted = table[m]
 					}
 					if counted {
-						task.Steps = append(task.Steps, trace.Step{
+						b.Step(trace.Step{
 							Op: trace.OpAtomicRMW, Space: trace.SpaceCounters,
 							Addr: (kmerHash(m) % tableSlots) * uint64(cfg.CounterEntryBytes),
 							Size: uint32(cfg.CounterEntryBytes), Light: true,
 						})
 					}
 				}
-				wl.Tasks = append(wl.Tasks, task)
+				b.EndTask()
 			}
 			readOff += uint64(rb)
 		}
@@ -256,8 +256,5 @@ func emitCountingTrace(reads []genome.Read, cfg Config, name string,
 	if multiPass {
 		emitPass(true)
 	}
-	if err := wl.Validate(); err != nil {
-		return nil, err
-	}
-	return wl, nil
+	return b.Finish()
 }

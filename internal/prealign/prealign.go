@@ -216,20 +216,21 @@ func FilterReads(ref *genome.Sequence, reads []genome.Read, cfg Config, seed uin
 	}
 	rng := newSplit(seed)
 	results := make([]Result, len(reads))
-	wl := &trace.Workload{Name: name, Passes: 1}
-	wl.SpaceBytes[trace.SpaceReference] = uint64(ref.PackedBytes())
+	b := trace.NewBuilder(name)
+	// +8: reference windows can poke slightly past the packed buffer; pad.
+	b.SetSpaceBytes(trace.SpaceReference, uint64(ref.PackedBytes())+8)
 	var readBytes uint64
 	for i := range reads {
 		readBytes += uint64((reads[i].Seq.Len() + 3) / 4)
 	}
-	wl.SpaceBytes[trace.SpaceReads] = readBytes
+	b.SetSpaceBytes(trace.SpaceReads, readBytes)
 
 	var readOff uint64
 	for ri := range reads {
 		read := reads[ri].Seq
-		task := trace.Task{Engine: trace.EnginePreAlign}
+		b.BeginTask(trace.EnginePreAlign)
 		rb := uint32((read.Len() + 3) / 4)
-		task.Steps = append(task.Steps, trace.Step{
+		b.Step(trace.Step{
 			Op: trace.OpRead, Space: trace.SpaceReads, Addr: readOff, Size: rb,
 			Spatial: true, Light: true,
 		})
@@ -251,18 +252,17 @@ func FilterReads(ref *genome.Sequence, reads []genome.Read, cfg Config, seed uin
 			if hi > ref.Len() {
 				hi = ref.Len()
 			}
-			task.Steps = append(task.Steps, trace.Step{
+			b.Step(trace.Step{
 				Op: trace.OpRead, Space: trace.SpaceReference,
 				Addr: uint64(lo / 4), Size: uint32((hi-lo+3)/4 + 1), Spatial: true,
 			})
 			mm, ok := Filter(read, ref, pos, cfg.MaxEdits)
 			results[ri].Candidates = append(results[ri].Candidates, Candidate{RefPos: pos, Accepted: ok, Mismatch: mm})
 		}
-		wl.Tasks = append(wl.Tasks, task)
+		b.EndTask()
 	}
-	// Reference windows can poke slightly past the packed buffer; pad.
-	wl.SpaceBytes[trace.SpaceReference] += 8
-	if err := wl.Validate(); err != nil {
+	wl, err := b.Finish()
+	if err != nil {
 		return nil, nil, err
 	}
 	return results, wl, nil

@@ -1,0 +1,125 @@
+package trace
+
+import "fmt"
+
+// builderChunkSteps is the arena chunk size: 32 Ki steps ≈ 1 MiB. Large
+// enough that chunk bookkeeping is noise, small enough that the final
+// partially-filled chunk wastes little.
+const builderChunkSteps = 1 << 15
+
+// Builder assembles a Workload incrementally without growing one giant
+// per-workload (or per-task) slice. The functional kernels emit millions of
+// steps on the large species; append-doubling a single []Step both copies
+// the whole prefix repeatedly and strands up to half the final footprint as
+// slack. The builder instead:
+//
+//   - buffers the current task's steps in one reusable scratch slice
+//     (amortized zero allocations per task), and
+//   - seals finished tasks into fixed-size arena chunks, so step memory is
+//     allocated in O(total/chunk) exact-size blocks that are never copied
+//     again. Each Task.Steps aliases its chunk — the familiar []Step shape
+//     downstream, without the per-task allocation.
+//
+// The emission order of BeginTask/Step/EndTask calls fully determines the
+// resulting Workload, so a kernel ported from slice-append to the builder
+// produces a bit-identical trace.
+type Builder struct {
+	name   string
+	passes int
+	merge  uint64
+	space  [NumSpaces]uint64
+	local  [NumSpaces]bool
+
+	tasks   []Task
+	scratch []Step // current task's steps, reused across tasks
+	engine  Engine
+	inTask  bool
+	arena   []Step // current chunk; append target for sealed tasks
+	steps   int    // total sealed steps
+}
+
+// NewBuilder starts a workload with the given name and one pass.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, passes: 1}
+}
+
+// SetPasses sets the number of input passes the timing model replays.
+func (b *Builder) SetPasses(n int) { b.passes = n }
+
+// SetMergeBytes sets the one-time all-to-all merge traffic.
+func (b *Builder) SetMergeBytes(n uint64) { b.merge = n }
+
+// SetSpaceBytes declares (or updates) a space's footprint.
+func (b *Builder) SetSpaceBytes(s Space, n uint64) { b.space[s] = n }
+
+// SetLocalSpace marks a space as replicated/partitioned per PE.
+func (b *Builder) SetLocalSpace(s Space, local bool) { b.local[s] = local }
+
+// BeginTask opens a new task on the given engine. Tasks cannot nest.
+func (b *Builder) BeginTask(e Engine) {
+	if b.inTask {
+		panic("trace: BeginTask inside an open task")
+	}
+	b.inTask = true
+	b.engine = e
+	b.scratch = b.scratch[:0]
+}
+
+// Step appends one memory step to the open task.
+func (b *Builder) Step(st Step) {
+	if !b.inTask {
+		panic("trace: Step outside a task")
+	}
+	b.scratch = append(b.scratch, st)
+}
+
+// EndTask seals the open task into the arena.
+func (b *Builder) EndTask() {
+	if !b.inTask {
+		panic("trace: EndTask without BeginTask")
+	}
+	b.inTask = false
+	n := len(b.scratch)
+	if n == 0 {
+		// Match the slice-append idiom: a step-less task carries nil Steps.
+		b.tasks = append(b.tasks, Task{Engine: b.engine})
+		return
+	}
+	if cap(b.arena)-len(b.arena) < n {
+		size := builderChunkSteps
+		if n > size {
+			size = n // oversized task: dedicated exact-size chunk
+		}
+		b.arena = make([]Step, 0, size)
+	}
+	off := len(b.arena)
+	b.arena = append(b.arena, b.scratch...)
+	b.steps += n
+	b.tasks = append(b.tasks, Task{Engine: b.engine, Steps: b.arena[off : off+n : off+n]})
+}
+
+// Tasks reports the number of sealed tasks so far.
+func (b *Builder) Tasks() int { return len(b.tasks) }
+
+// Steps reports the number of sealed steps so far.
+func (b *Builder) Steps() int { return b.steps }
+
+// Finish validates and returns the assembled workload. The builder must not
+// be reused afterwards.
+func (b *Builder) Finish() (*Workload, error) {
+	if b.inTask {
+		return nil, fmt.Errorf("trace: Finish with an open task in workload %q", b.name)
+	}
+	wl := &Workload{
+		Name:        b.name,
+		Tasks:       b.tasks,
+		SpaceBytes:  b.space,
+		Passes:      b.passes,
+		LocalSpaces: b.local,
+		MergeBytes:  b.merge,
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	return wl, nil
+}

@@ -74,6 +74,16 @@ func (e *Evaluator) WithObservability(col *obs.Collection) *Evaluator {
 	return e
 }
 
+// WithWorkloadCache backs the evaluator's workload construction with the
+// on-disk content-addressed cache: each distinct configuration is looked
+// up there before the functional phase runs, and stored after a cold
+// build. A nil cache is a no-op. The cache never changes results — only
+// how fast workloads materialize. It returns the evaluator for chaining.
+func (e *Evaluator) WithWorkloadCache(wc *WorkloadCache) *Evaluator {
+	e.cache.disk = wc
+	return e
+}
+
 // WithFaults applies a fault-injection profile to every subsequent BEACON
 // simulation job (the baselines ignore it). It returns the evaluator for
 // chaining.
@@ -167,8 +177,6 @@ func (e *Evaluator) workload(app Application, sp Species, flow KmerFlow) (*Workl
 // ladder step name, "cpu-ref", "ideal", ...) so failures and progress lines
 // carry the full app/species/platform/step identity.
 func (e *Evaluator) simJob(app Application, sp Species, flow KmerFlow, p Platform, step string) runner.Job[*Report] {
-	p.Faults = e.faults
-	p.FaultSeed = e.faultSeed
 	label := fmt.Sprintf("%s/%s/%s/%s", app, sp, p.Kind, step)
 	return runner.Job[*Report]{
 		Label: label,
@@ -177,12 +185,14 @@ func (e *Evaluator) simJob(app Application, sp Species, flow KmerFlow, p Platfor
 			if err != nil {
 				return nil, err
 			}
-			rep, err := SimulateObserved(p, wl, e.obsCol.New(label))
+			res, err := Run(p, wl,
+				WithObserver(e.obsCol.New(label)),
+				WithFaultInjection(e.faults, e.faultSeed))
 			if err != nil {
 				return nil, err
 			}
-			e.recordFaults(p.Kind, rep.Faults)
-			return rep, nil
+			e.recordFaults(p.Kind, res.Report.Faults)
+			return res.Report, nil
 		},
 	}
 }
@@ -528,6 +538,9 @@ type EvalOptions struct {
 	// job (zero = off); FaultSeed seeds the deterministic fault streams.
 	Faults    FaultProfile
 	FaultSeed uint64
+	// WorkloadCache, when non-nil, backs workload construction with the
+	// on-disk content-addressed cache. Results are identical either way.
+	WorkloadCache *WorkloadCache
 }
 
 // Evaluation holds every table and figure of the paper's evaluation
@@ -560,7 +573,8 @@ type Evaluation struct {
 func RunEvaluation(ctx context.Context, rc RunConfig, opts EvalOptions) (*Evaluation, error) {
 	e := NewEvaluator(rc, opts.Jobs).WithTimeout(opts.Timeout).
 		WithObservability(opts.Obs).WithProgress(opts.Progress).
-		WithFaults(opts.Faults, opts.FaultSeed)
+		WithFaults(opts.Faults, opts.FaultSeed).
+		WithWorkloadCache(opts.WorkloadCache)
 	ctx, cancel := e.context(ctx)
 	defer cancel()
 	// The evaluator's per-figure timeout is already applied to ctx here;

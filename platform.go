@@ -163,9 +163,14 @@ func (r *Report) EnergyReductionOver(other *Report) float64 {
 	return stats.Speedup(other.EnergyPJ, r.EnergyPJ)
 }
 
-// Simulate replays the workload on the platform.
+// Simulate replays the workload on the platform. It is Run with no
+// options, returning the Report directly.
 func Simulate(p Platform, w *Workload) (*Report, error) {
-	return SimulateObserved(p, w, nil)
+	res, err := Run(p, w)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
 }
 
 // SimulateObserved replays the workload on the platform with the
@@ -174,8 +179,17 @@ func Simulate(p Platform, w *Workload) (*Report, error) {
 // entirely (Simulate is exactly this with ob == nil). Instrumentation is
 // observation-only — the returned Report is byte-identical either way. The
 // CPU platform is an analytic model with no simulated timeline, so it
-// records nothing.
+// records nothing. It is Run with WithObserver(ob).
 func SimulateObserved(p Platform, w *Workload, ob *obs.Obs) (*Report, error) {
+	res, err := Run(p, w, WithObserver(ob))
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
+}
+
+// simulateOne is the single-tenant simulation behind Run.
+func simulateOne(p Platform, w *Workload, ob *obs.Obs) (*Report, error) {
 	if w == nil || w.tr == nil {
 		return nil, fmt.Errorf("beacon: nil workload")
 	}
@@ -266,8 +280,21 @@ type TenantReport struct {
 
 // SimulateShared replays several workloads concurrently on one BEACON
 // platform (BeaconD or BeaconS). Their tasks interleave in the task
-// schedulers and contend for the same fabric and DRAM.
+// schedulers and contend for the same fabric and DRAM. It is Run with
+// WithCoRun(wls[1:]...).
 func SimulateShared(p Platform, wls []*Workload) (*SharedReport, error) {
+	if len(wls) == 0 {
+		return nil, fmt.Errorf("beacon: shared run needs at least one workload")
+	}
+	res, err := Run(p, wls[0], WithCoRun(wls[1:]...))
+	if err != nil {
+		return nil, err
+	}
+	return &SharedReport{Combined: *res.Report, Tenants: res.Tenants}, nil
+}
+
+// simulateShared is the multi-tenant simulation behind Run.
+func simulateShared(p Platform, wls []*Workload) (*SharedReport, error) {
 	if p.Kind != BeaconD && p.Kind != BeaconS {
 		return nil, fmt.Errorf("beacon: shared runs require a BEACON platform, got %v", p.Kind)
 	}

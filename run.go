@@ -1,0 +1,97 @@
+package beacon
+
+import (
+	"fmt"
+
+	"beacon/internal/obs"
+)
+
+// RunOption customizes a Run call. The zero option set replays the
+// workload bare: no instrumentation, no fault injection, single tenant.
+type RunOption func(*runSettings)
+
+type runSettings struct {
+	ob        *obs.Obs
+	faults    FaultProfile
+	faultSeed uint64
+	setFaults bool
+	shared    bool
+	coRun     []*Workload
+}
+
+// WithObserver attaches an observability sink: component metrics, activity
+// spans and snapshot series accumulate in ob during the run. A nil ob is a
+// no-op. Instrumentation is observation-only — the returned Report is
+// byte-identical either way.
+func WithObserver(ob *obs.Obs) RunOption {
+	return func(s *runSettings) { s.ob = ob }
+}
+
+// WithFaultInjection enables deterministic fault injection with the given
+// profile and seed (overriding the Platform's own Faults/FaultSeed fields).
+// A zero profile disables injection. The CPU and DDR baselines model
+// neither the CXL fabric nor its RAS path and ignore it.
+func WithFaultInjection(profile FaultProfile, seed uint64) RunOption {
+	return func(s *runSettings) {
+		s.faults = profile
+		s.faultSeed = seed
+		s.setFaults = true
+	}
+}
+
+// WithCoRun co-locates additional workloads with the primary one — the §II
+// memory-pooling scenario: all tenants share one pool's DIMMs, fabric and
+// NDP modules, their tasks interleaving in the task schedulers. Requires a
+// BEACON platform. The result's Report aggregates all tenants; Tenants
+// lists each workload's own completion.
+func WithCoRun(ws ...*Workload) RunOption {
+	return func(s *runSettings) {
+		s.shared = true
+		s.coRun = append(s.coRun, ws...)
+	}
+}
+
+// RunResult is the outcome of one Run.
+type RunResult struct {
+	// Report summarizes the run: the workload's own report for a
+	// single-tenant run, the combined (all-tenant) report for a co-located
+	// one.
+	Report *Report
+	// Tenants lists per-workload completions for co-located runs (nil for
+	// single-tenant runs).
+	Tenants []TenantReport
+}
+
+// Run replays the workload on the platform. It is the single entry point
+// behind Simulate, SimulateObserved and SimulateShared: options select
+// instrumentation (WithObserver), deterministic fault injection
+// (WithFaultInjection) and multi-tenant co-location (WithCoRun), and they
+// compose — except that co-located runs do not support an observer.
+//
+// Determinism: identical platform, workload(s) and options produce a
+// byte-identical result.
+func Run(p Platform, w *Workload, opts ...RunOption) (*RunResult, error) {
+	var s runSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.setFaults {
+		p.Faults = s.faults
+		p.FaultSeed = s.faultSeed
+	}
+	if s.shared {
+		if s.ob != nil {
+			return nil, fmt.Errorf("%w: co-located runs do not support an observer", ErrBadConfig)
+		}
+		sr, err := simulateShared(p, append([]*Workload{w}, s.coRun...))
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{Report: &sr.Combined, Tenants: sr.Tenants}, nil
+	}
+	rep, err := simulateOne(p, w, s.ob)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Report: rep}, nil
+}

@@ -10,7 +10,13 @@
 //   - time.Now, time.Since, time.Until, time.Sleep, timers and tickers;
 //   - math/rand and math/rand/v2 package-level functions (the implicitly
 //     seeded global generator) and crypto/rand reads;
-//   - process-identity entropy: os.Getpid, os.Getppid.
+//   - process-identity entropy: os.Getpid, os.Getppid;
+//   - ambient process environment: os.UserCacheDir, os.UserConfigDir,
+//     os.UserHomeDir, os.TempDir, os.Hostname, os.Environ — machine-local
+//     state that varies across hosts and users. The workload cache's
+//     default-directory lookup is the sanctioned, annotated exception
+//     (cache entries are content-addressed, so location never reaches
+//     results).
 //
 // Command (package main) code and _test.go files are exempt: CLIs may
 // print wall time and tests may time things. Library code that needs wall
@@ -43,6 +49,13 @@ var timeFuncs = map[string]bool{
 // osFuncs are the process-identity entropy sources in package os.
 var osFuncs = map[string]bool{"Getpid": true, "Getppid": true}
 
+// osEnvFuncs are the ambient-environment lookups in package os: per-host,
+// per-user state that must never steer simulation results.
+var osEnvFuncs = map[string]bool{
+	"UserCacheDir": true, "UserConfigDir": true, "UserHomeDir": true,
+	"TempDir": true, "Hostname": true, "Environ": true,
+}
+
 func run(pass *analysis.Pass) error {
 	if pass.Pkg.Name() == "main" {
 		return nil // CLIs may report wall time
@@ -72,6 +85,8 @@ func run(pass *analysis.Pass) error {
 				pass.Reportf(call.Pos(), "crypto entropy call crypto/rand.%s in simulator code; results must be reproducible from the run seed (or annotate //beaconlint:allow nodeterminism <reason>)", fn.Name())
 			case path == "os" && osFuncs[fn.Name()]:
 				pass.Reportf(call.Pos(), "process-identity call os.%s in simulator code; process identity must not influence results (or annotate //beaconlint:allow nodeterminism <reason>)", fn.Name())
+			case path == "os" && osEnvFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(), "ambient-environment call os.%s in simulator code; machine-local state must not influence results (or annotate //beaconlint:allow nodeterminism <reason>)", fn.Name())
 			}
 			return true
 		})

@@ -26,6 +26,12 @@ func entropy() int {
 	return n
 }
 
+func ambient() string {
+	dir, _ := os.UserCacheDir()      // want `ambient-environment call os\.UserCacheDir`
+	host, _ := os.Hostname()         // want `ambient-environment call os\.Hostname`
+	return dir + host + os.TempDir() // want `ambient-environment call os\.TempDir`
+}
+
 func seededOK() int {
 	r := rand.New(rand.NewSource(1)) // constructors with explicit seeds are fine
 	return r.Intn(10)

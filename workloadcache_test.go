@@ -1,0 +1,253 @@
+package beacon
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"beacon/internal/obs"
+	"beacon/internal/wcache"
+)
+
+// TestWorkloadCacheDeterminism pins the cache's core contract: for every
+// application, a cache-hit workload replays to a Report byte-identical to
+// the cold build's, and the wrapper metadata matches field for field.
+func TestWorkloadCacheDeterminism(t *testing.T) {
+	t.Parallel()
+	wc, err := OpenWorkloadCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Platform{Kind: BeaconD, Opts: AllOptimizations()}
+	for _, app := range []Application{FMSeeding, HashSeeding, KmerCounting, PreAlignment} {
+		cfg := quickCfg(PinusTaeda)
+		cold, err := NewWorkload(app, cfg)
+		if err != nil {
+			t.Fatalf("%v cold: %v", app, err)
+		}
+		// First cached call misses, builds and stores.
+		if _, err := NewWorkloadCached(app, cfg, wc); err != nil {
+			t.Fatalf("%v populate: %v", app, err)
+		}
+		// Second cached call must hit and decode.
+		warm, err := NewWorkloadCached(app, cfg, wc)
+		if err != nil {
+			t.Fatalf("%v warm: %v", app, err)
+		}
+		if warm.Name != cold.Name || warm.App != cold.App || warm.Tasks != cold.Tasks ||
+			warm.Steps != cold.Steps || warm.FootprintBytes != cold.FootprintBytes ||
+			warm.Verified != cold.Verified {
+			t.Fatalf("%v: wrapper metadata diverged:\ncold %+v\nwarm %+v", app, cold, warm)
+		}
+		if !reflect.DeepEqual(cold.tr, warm.tr) {
+			t.Fatalf("%v: decoded trace differs from cold build", app)
+		}
+		a, err := Simulate(p, cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(p, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: cache-hit report differs from cold report:\n%+v\nvs\n%+v", app, a, b)
+		}
+	}
+	st := wc.Stats()
+	if st.Hits != 4 || st.Misses != 4 || st.Puts != 4 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 4 hits / 4 misses / 4 puts", st)
+	}
+}
+
+// TestWorkloadCacheCorruptFallback damages a stored entry on disk; the
+// cached constructor must regenerate transparently (recording the
+// corruption in Stats) and repopulate the entry.
+func TestWorkloadCacheCorruptFallback(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	wc, err := OpenWorkloadCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(PinusTaeda)
+	want, err := NewWorkloadCached(PreAlignment, cfg, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.bwl"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir holds %d entries (%v), want 1", len(entries), err)
+	}
+	if err := os.WriteFile(entries[0], []byte("bit rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewWorkloadCached(PreAlignment, cfg, wc)
+	if err != nil {
+		t.Fatalf("corrupt entry surfaced as failure: %v", err)
+	}
+	if !reflect.DeepEqual(want.tr, got.tr) {
+		t.Fatal("regenerated workload differs from original")
+	}
+	if st := wc.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt count = %d, want 1 (stats %+v)", st.Corrupt, st)
+	}
+	// The rebuild must have repopulated the entry: next call hits.
+	before := wc.Stats().Hits
+	if _, err := NewWorkloadCached(PreAlignment, cfg, wc); err != nil {
+		t.Fatal(err)
+	}
+	if wc.Stats().Hits != before+1 {
+		t.Error("rebuilt entry was not stored back")
+	}
+}
+
+// TestWorkloadCacheKeyCoversEveryField mutates each WorkloadConfig knob and
+// checks the canonical identity changes — the property that makes stale
+// hits impossible.
+func TestWorkloadCacheKeyCoversEveryField(t *testing.T) {
+	t.Parallel()
+	base := DefaultWorkloadConfig(PinusTaeda)
+	baseKey := workloadCacheKey(FMSeeding, base)
+	mutations := map[string]func(*WorkloadConfig){
+		"Species":     func(c *WorkloadConfig) { c.Species = Human },
+		"GenomeScale": func(c *WorkloadConfig) { c.GenomeScale++ },
+		"Reads":       func(c *WorkloadConfig) { c.Reads++ },
+		"ReadLength":  func(c *WorkloadConfig) { c.ReadLength++ },
+		"ErrorRate":   func(c *WorkloadConfig) { c.ErrorRate += 0.001 },
+		"Seed":        func(c *WorkloadConfig) { c.Seed++ },
+		"SeedLen":     func(c *WorkloadConfig) { c.SeedLen++ },
+		"MaxHits":     func(c *WorkloadConfig) { c.MaxHits++ },
+		"MEMSeeding":  func(c *WorkloadConfig) { c.MEMSeeding = true },
+		"MEMMinLen":   func(c *WorkloadConfig) { c.MEMMinLen++ },
+		"K":           func(c *WorkloadConfig) { c.K++ },
+		"Flow":        func(c *WorkloadConfig) { c.Flow = SinglePass },
+		"MaxEdits":    func(c *WorkloadConfig) { c.MaxEdits++ },
+		"Candidates":  func(c *WorkloadConfig) { c.Candidates++ },
+	}
+	names := make([]string, 0, len(mutations))
+	for name := range mutations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cfg := base
+		mutations[name](&cfg)
+		if workloadCacheKey(FMSeeding, cfg) == baseKey {
+			t.Errorf("changing %s does not change the cache key", name)
+		}
+	}
+	if workloadCacheKey(HashSeeding, base) == baseKey {
+		t.Error("changing the application does not change the cache key")
+	}
+}
+
+// TestSentinelErrors checks that every failure class matches its sentinel
+// through errors.Is, across the wrapping layers.
+func TestSentinelErrors(t *testing.T) {
+	t.Parallel()
+	bad := DefaultWorkloadConfig(PinusTaeda)
+	bad.Reads = 0
+	if _, err := NewWorkload(FMSeeding, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero reads: %v, want ErrBadConfig", err)
+	}
+	unknown := DefaultWorkloadConfig(Species("Zz"))
+	if _, err := NewWorkload(FMSeeding, unknown); !errors.Is(err, ErrUnknownSpecies) {
+		t.Errorf("unknown species: %v, want ErrUnknownSpecies", err)
+	}
+	if _, err := NewWorkload(GraphProcessing, DefaultWorkloadConfig(PinusTaeda)); !errors.Is(err, ErrUnsupportedApp) {
+		t.Errorf("extension app: %v, want ErrUnsupportedApp", err)
+	}
+	badFlow := quickCfg(Human)
+	badFlow.Flow = KmerFlow(42)
+	if _, err := NewWorkload(KmerCounting, badFlow); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad flow: %v, want ErrBadConfig", err)
+	}
+	// The facade sentinel and the internal cache sentinel are one value, so
+	// matching works across the boundary.
+	if !errors.Is(ErrCacheCorrupt, wcache.ErrCorrupt) {
+		t.Error("ErrCacheCorrupt does not match wcache.ErrCorrupt")
+	}
+	// The cached constructor also propagates constructor sentinels.
+	wc, err := OpenWorkloadCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkloadCached(FMSeeding, bad, wc); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("cached constructor: %v, want ErrBadConfig", err)
+	}
+}
+
+// TestRunEquivalence pins that the three legacy entry points are exactly
+// Run with the corresponding options.
+func TestRunEquivalence(t *testing.T) {
+	t.Parallel()
+	wl, err := NewFMSeedingWorkload(quickCfg(PinusTaeda))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Platform{Kind: BeaconD, Opts: AllOptimizations()}
+
+	legacy, err := Simulate(p, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, res.Report) {
+		t.Error("Run differs from Simulate")
+	}
+	if res.Tenants != nil {
+		t.Error("single-tenant Run reported tenants")
+	}
+
+	// Fault injection via option == fault injection via Platform fields.
+	pf := p
+	pf.Faults = DefaultFaultProfile()
+	pf.FaultSeed = 7
+	viaPlatform, err := Simulate(pf, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOption, err := Run(p, wl, WithFaultInjection(DefaultFaultProfile(), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaPlatform, viaOption.Report) {
+		t.Error("WithFaultInjection differs from Platform.Faults")
+	}
+
+	// Co-location == SimulateShared.
+	second, err := NewPreAlignmentWorkload(quickCfg(PinusTaeda))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedLegacy, err := SimulateShared(p, []*Workload{wl, second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedRun, err := Run(p, wl, WithCoRun(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&sharedLegacy.Combined, sharedRun.Report) {
+		t.Error("WithCoRun combined report differs from SimulateShared")
+	}
+	if !reflect.DeepEqual(sharedLegacy.Tenants, sharedRun.Tenants) {
+		t.Error("WithCoRun tenants differ from SimulateShared")
+	}
+
+	// Observer + co-run is rejected as a config error; a nil observer is
+	// a no-op and composes with anything.
+	if _, err := Run(p, wl, WithCoRun(second), WithObserver(obs.New("x"))); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("observer with co-run: %v, want ErrBadConfig", err)
+	}
+	if _, err := Run(p, wl, WithCoRun(second), WithObserver(nil)); err != nil {
+		t.Errorf("nil observer with co-run: %v, want success", err)
+	}
+}
