@@ -14,11 +14,13 @@ test:
 race:
 	$(GO) test -race -timeout 15m . ./internal/runner ./internal/obs ./internal/fault ./internal/sim ./internal/wcache
 
-# Trace-pipeline benchmarks plus the committed comparison artifact
-# (BENCH_trace.json: cold build vs cache-hit construction).
+# Trace-pipeline and event-engine benchmarks plus the committed comparison
+# artifacts (BENCH_trace.json: cold build vs cache-hit construction;
+# BENCH_engine.json: calendar-queue vs heap scheduling).
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkWorkload|BenchmarkEncodeWorkload|BenchmarkDecodeWorkload|BenchmarkBuilder' -benchtime=1x . ./internal/trace
+	$(GO) test -run=NONE -bench='BenchmarkWorkload|BenchmarkEncodeWorkload|BenchmarkDecodeWorkload|BenchmarkBuilder|BenchmarkEngineChurn' -benchtime=1x . ./internal/trace
 	BEACON_BENCH_TRACE=BENCH_trace.json $(GO) test -run TestBenchTraceArtifact -v .
+	BEACON_BENCH_ENGINE=BENCH_engine.json $(GO) test -run TestBenchEngineArtifact -v .
 
 # The repository's determinism analyzers (see DESIGN.md §4d). Exits
 # non-zero on any diagnostic; suppressions need //beaconlint:allow.

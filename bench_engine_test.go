@@ -1,0 +1,159 @@
+package beacon
+
+// Benchmarks for the event engine's pending-event queue: the calendar
+// queue (the default) against the reference binary heap, on a synthetic
+// churn workload shaped like the simulator's steady state — a large
+// standing population of events, each dispatch rescheduling a short
+// stride ahead, with an occasional far-future hop exercising the
+// calendar's overflow tier.
+//
+// TestBenchEngineArtifact is the CI harness: when BEACON_BENCH_ENGINE
+// names a file, it measures both schedulers via testing.Benchmark plus a
+// warm end-to-end simulation under each, enforces the calendar queue's
+// >= 2x micro throughput target, and writes the comparison as JSON
+// (committed as BENCH_engine.json).
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"beacon/internal/sim"
+)
+
+// benchEngineActors is the standing pending-event population of the churn
+// workload. 4096 in-flight events matches the order of magnitude a BEACON
+// machine keeps queued (PEs x in-flight tasks), and is deep enough that
+// the heap pays ~12 comparisons per operation.
+const benchEngineActors = 4096
+
+// runEngineChurn dispatches `events` events on a fresh engine of the given
+// scheduler kind: benchEngineActors self-rescheduling actors with strides
+// drawn from a fixed-seed RNG, mostly short (1..512 cycles, in the
+// calendar window) with every 64th hop far-future (into the overflow
+// tier). The stride sequence is deterministic, so every call — and both
+// scheduler kinds — replays the identical workload.
+func runEngineChurn(tb testing.TB, kind SchedulerKind, events int) {
+	e := sim.NewEngineWithScheduler(kind)
+	rng := sim.NewRNG(0xBEAC0)
+	remaining := events
+	var step func()
+	step = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		stride := sim.Cycles(1 + rng.Intn(512))
+		if remaining%64 == 0 {
+			stride = sim.Cycles(100_000 + rng.Intn(1<<20))
+		}
+		e.Schedule(stride, step)
+	}
+	for i := 0; i < benchEngineActors && i < events; i++ {
+		e.Schedule(sim.Cycles(rng.Intn(512)), step)
+	}
+	if _, err := e.Run(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func benchEngineChurn(b *testing.B, kind SchedulerKind) {
+	b.ReportAllocs()
+	runEngineChurn(b, kind, b.N)
+}
+
+func BenchmarkEngineChurnCalendar(b *testing.B) { benchEngineChurn(b, SchedulerCalendar) }
+func BenchmarkEngineChurnHeap(b *testing.B)     { benchEngineChurn(b, SchedulerHeap) }
+
+// benchEngineArtifact is the BENCH_engine.json schema. The micro section
+// is the churn benchmark (per dispatched event); the e2e section is a warm
+// full simulation of the quick-config FM-seeding workload on BEACON-D.
+type benchEngineArtifact struct {
+	Actors                 int     `json:"actors"`
+	HeapNsPerEvent         int64   `json:"heap_ns_per_event"`
+	CalendarNsPerEvent     int64   `json:"calendar_ns_per_event"`
+	HeapEventsPerSec       float64 `json:"heap_events_per_sec"`
+	CalendarEventsPerSec   float64 `json:"calendar_events_per_sec"`
+	HeapAllocsPerEvent     int64   `json:"heap_allocs_per_event"`
+	CalendarAllocsPerEvent int64   `json:"calendar_allocs_per_event"`
+	MicroSpeedup           float64 `json:"micro_speedup"`
+	E2EApp                 string  `json:"e2e_app"`
+	E2EHeapSeconds         float64 `json:"e2e_heap_seconds"`
+	E2ECalendarSeconds     float64 `json:"e2e_calendar_seconds"`
+	E2ESpeedup             float64 `json:"e2e_speedup"`
+}
+
+// TestBenchEngineArtifact measures calendar vs heap scheduling and writes
+// BENCH_engine.json. Guarded by an env var so ordinary `go test` stays
+// fast; run via `make bench` or the CI engine-bench job.
+func TestBenchEngineArtifact(t *testing.T) {
+	path := os.Getenv("BEACON_BENCH_ENGINE")
+	if path == "" {
+		t.Skip("set BEACON_BENCH_ENGINE=<file> to emit the engine benchmark artifact")
+	}
+	micro := func(kind SchedulerKind) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			runEngineChurn(b, kind, b.N)
+		})
+	}
+	heap := micro(SchedulerHeap)
+	cal := micro(SchedulerCalendar)
+
+	// Warm end-to-end: build the workload once, run each platform once to
+	// warm allocator and caches, then time a second run.
+	wl, err := NewFMSeedingWorkload(quickCfg(PinusTaeda))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2e := func(kind SchedulerKind) float64 {
+		p := Platform{Kind: BeaconD, Opts: AllOptimizations(), Scheduler: kind}
+		if _, err := Simulate(p, wl); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := Simulate(p, wl); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	e2eHeap := e2e(SchedulerHeap)
+	e2eCal := e2e(SchedulerCalendar)
+
+	art := benchEngineArtifact{
+		Actors:                 benchEngineActors,
+		HeapNsPerEvent:         heap.NsPerOp(),
+		CalendarNsPerEvent:     cal.NsPerOp(),
+		HeapAllocsPerEvent:     heap.AllocsPerOp(),
+		CalendarAllocsPerEvent: cal.AllocsPerOp(),
+		E2EApp:                 "fm-seeding",
+		E2EHeapSeconds:         e2eHeap,
+		E2ECalendarSeconds:     e2eCal,
+	}
+	if art.HeapNsPerEvent > 0 {
+		art.HeapEventsPerSec = 1e9 / float64(art.HeapNsPerEvent)
+	}
+	if art.CalendarNsPerEvent > 0 {
+		art.CalendarEventsPerSec = 1e9 / float64(art.CalendarNsPerEvent)
+		art.MicroSpeedup = float64(art.HeapNsPerEvent) / float64(art.CalendarNsPerEvent)
+	}
+	if e2eCal > 0 {
+		art.E2ESpeedup = e2eHeap / e2eCal
+	}
+	if art.MicroSpeedup < 2 {
+		t.Errorf("calendar queue only %.2fx faster than the heap on the churn benchmark, want >= 2x", art.MicroSpeedup)
+	}
+	if art.CalendarAllocsPerEvent > 0 {
+		t.Errorf("calendar queue allocates %d times per event at steady state, want 0", art.CalendarAllocsPerEvent)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("micro: heap %d ns/event, calendar %d ns/event (%.2fx); e2e: heap %.2fs, calendar %.2fs (%.2fx) -> %s",
+		art.HeapNsPerEvent, art.CalendarNsPerEvent, art.MicroSpeedup, e2eHeap, e2eCal, art.E2ESpeedup, path)
+}

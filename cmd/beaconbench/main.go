@@ -49,6 +49,8 @@ func main() {
 
 	faults, err := of.FaultProfile()
 	check(err)
+	sched, err := of.SchedulerKind()
+	check(err)
 
 	rc := beacon.DefaultRunConfig()
 	if *quick {
@@ -76,6 +78,7 @@ func main() {
 		Faults:        faults,
 		FaultSeed:     of.FaultSeed,
 		WorkloadCache: openWorkloadCache(of),
+		Scheduler:     sched,
 	})
 	if err != nil {
 		// Dump whatever observability accumulated before the failure, then

@@ -94,6 +94,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sched, err := of.SchedulerKind()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := beacon.DefaultWorkloadConfig(beacon.Species(*species))
 	cfg.GenomeScale = *scale
@@ -144,7 +148,7 @@ func main() {
 	for i, kind := range kinds {
 		kind := kind
 		label := fmt.Sprintf("%s/%s/%s", wl.Name, kind, optsName(*vanilla, *ideal))
-		p := beacon.Platform{Kind: kind, Opts: opts, Faults: faults, FaultSeed: of.FaultSeed}
+		p := beacon.Platform{Kind: kind, Opts: opts, Faults: faults, FaultSeed: of.FaultSeed, Scheduler: sched}
 		simJobs[i] = runner.Job[*beacon.Report]{
 			Label: label,
 			Fn: func(context.Context) (*beacon.Report, error) {

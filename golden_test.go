@@ -17,8 +17,10 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files instead of c
 // two BEACON platforms again under the heavy fault profile at a fixed seed.
 // Everything the simulator computes deterministically funnels into this one
 // string, so any timing, energy, or fault-model drift shows up as a byte
-// diff.
-func goldenReport(t *testing.T) string {
+// diff. sched selects the event engine's pending-event queue; the report is
+// byte-identical for every kind (TestReportGoldenSchedulerInvariant pins
+// that).
+func goldenReport(t *testing.T, sched SchedulerKind) string {
 	t.Helper()
 	wl, err := NewFMSeedingWorkload(quickCfg(PinusTaeda))
 	if err != nil {
@@ -28,7 +30,7 @@ func goldenReport(t *testing.T) string {
 	clean := report.NewTable("FM-index seeding, scale 8000, 100 reads",
 		"platform", "cycles", "energy pJ", "comm pJ", "local frac", "wire bytes", "host crossings")
 	for _, kind := range []PlatformKind{CPU, DDRBaseline, BeaconD, BeaconS} {
-		rep, err := Simulate(Platform{Kind: kind, Opts: AllOptimizations()}, wl)
+		rep, err := Simulate(Platform{Kind: kind, Opts: AllOptimizations(), Scheduler: sched}, wl)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -46,7 +48,7 @@ func goldenReport(t *testing.T) string {
 		"platform", "cycles", "faults total")
 	for _, kind := range []PlatformKind{BeaconD, BeaconS} {
 		rep, err := Simulate(Platform{
-			Kind: kind, Opts: AllOptimizations(),
+			Kind: kind, Opts: AllOptimizations(), Scheduler: sched,
 			Faults: HeavyFaultProfile(), FaultSeed: 7,
 		}, wl)
 		if err != nil {
@@ -65,7 +67,7 @@ func goldenReport(t *testing.T) string {
 //
 //	go test -run TestReportGolden -update .
 func TestReportGolden(t *testing.T) {
-	got := goldenReport(t)
+	got := goldenReport(t, SchedulerCalendar)
 	path := filepath.Join("testdata", "report_golden.txt")
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -84,5 +86,20 @@ func TestReportGolden(t *testing.T) {
 	if got != string(want) {
 		t.Fatalf("report drifted from %s — run with -update if the change is intended.\n--- got ---\n%s\n--- want ---\n%s",
 			path, got, want)
+	}
+}
+
+// TestReportGoldenSchedulerInvariant replays the full golden report under
+// the reference heap scheduler and demands byte-identity with the calendar
+// queue's output: the pending-event queue is a pure performance choice and
+// must never leak into a simulated result. Together with the differential
+// suite in internal/sim this extends the event-for-event equivalence proof
+// from synthetic scripts to complete end-to-end simulations (timing,
+// energy, traffic and fault recovery included).
+func TestReportGoldenSchedulerInvariant(t *testing.T) {
+	cal := goldenReport(t, SchedulerCalendar)
+	heap := goldenReport(t, SchedulerHeap)
+	if cal != heap {
+		t.Fatalf("schedulers disagree on the golden report.\n--- calendar ---\n%s\n--- heap ---\n%s", cal, heap)
 	}
 }

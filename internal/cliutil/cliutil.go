@@ -17,6 +17,7 @@ import (
 	"beacon/internal/fault"
 	"beacon/internal/obs"
 	"beacon/internal/runner"
+	"beacon/internal/sim"
 )
 
 // Flags is the shared observability flag set.
@@ -46,6 +47,10 @@ type Flags struct {
 	// WorkloadCache selects the on-disk workload cache: "auto" (the
 	// per-user default directory), "off", or an explicit directory.
 	WorkloadCache string
+	// Scheduler names the event engine's pending-event queue ("calendar",
+	// "heap"). Reports are byte-identical across kinds; the heap kind
+	// exists for differential cross-checks and regression triage.
+	Scheduler string
 }
 
 // Register installs the shared flags on the default flag set; call before
@@ -66,6 +71,7 @@ func Register(traceCap int) *Flags {
 	flag.StringVar(&f.Faults, "faults", "off", "fault-injection `profile` for BEACON platforms (off, default, heavy)")
 	flag.Uint64Var(&f.FaultSeed, "fault-seed", 1, "`seed` for the deterministic fault streams")
 	flag.StringVar(&f.WorkloadCache, "workload-cache", "auto", "on-disk workload cache `dir` (auto = per-user default, off = disabled)")
+	flag.StringVar(&f.Scheduler, "scheduler", "calendar", "event-engine `queue` (calendar, heap); results are byte-identical")
 	return f
 }
 
@@ -87,6 +93,11 @@ func (f *Flags) WorkloadCacheDir() (dir string, enabled bool) {
 // FaultProfile resolves the -faults flag to a profile.
 func (f *Flags) FaultProfile() (fault.Profile, error) {
 	return fault.Parse(f.Faults)
+}
+
+// SchedulerKind resolves the -scheduler flag.
+func (f *Flags) SchedulerKind() (sim.SchedulerKind, error) {
+	return sim.ParseSchedulerKind(f.Scheduler)
 }
 
 // HandleVersion prints the build banner and exits when -version was given.

@@ -93,7 +93,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, engine: sim.NewEngine()}
+	m := &Machine{cfg: cfg, engine: sim.NewEngineWithScheduler(cfg.Scheduler)}
 	var err error
 	m.fabric, err = cxl.New(cfg.fabricConfig())
 	if err != nil {

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Calendar-queue scheduler: a bucketed timing wheel over the near future
+// with a binary-heap overflow tier for far-future events.
+//
+// Simulated workloads schedule almost every event within a few thousand
+// cycles of the present (link hops, DRAM timings, PE step latencies), so
+// the wheel covers a window of calWindow cycles starting at the dispatch
+// cursor. An event inside the window lands in the bucket for its exact
+// cycle — one append, no comparisons — and events for one cycle dispatch
+// as a batch by walking the bucket. Events beyond the window wait in a
+// value min-heap and migrate into buckets as the window slides forward.
+//
+// Event storage is flat: buckets and the overflow tier hold calEvent
+// values in reusable slabs (the builder-arena style of trace.Builder), so
+// scheduling allocates nothing at steady state — bucket capacity is
+// retained across reuse and there is no per-event heap node.
+//
+// Ordering invariants, maintained jointly with the Engine:
+//
+//   - cur is the cycle of the most recently dispatched batch; the Engine's
+//     clock equals or exceeds it, so no future schedule can target an
+//     earlier cycle (past-time schedules are rejected before they reach the
+//     scheduler). cur therefore only advances in pop, when a new batch
+//     actually begins — peeking must not move it, because an Engine that
+//     stopped at a RunUntil deadline may still schedule events between the
+//     current clock and the next pending event.
+//   - every bucketed event has at in [cur, horizon); every overflow event
+//     has at >= horizon; and horizon <= cur + calWindow, so two bucketed
+//     events can only share a bucket index by having the same cycle.
+//   - within a bucket, events appear in seq order: direct schedules append
+//     in arrival (= seq) order, and overflow migration happens in (at, seq)
+//     heap order into buckets that cannot hold any directly scheduled event
+//     yet — while an event waits in overflow, its cycle is at or beyond
+//     horizon, so a same-cycle direct schedule would land in overflow too.
+const (
+	calBits = 13
+	// calWindow is the wheel span in cycles (8192 ≈ 10 µs of simulated
+	// time at DDR4-1600); one bucket per cycle.
+	calWindow = Cycle(1) << calBits
+	calMask   = calWindow - 1
+)
+
+// calEvent is one pending event, stored by value in a bucket or the
+// overflow heap.
+type calEvent struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type calendarScheduler struct {
+	// buckets[i] holds the events for the unique in-window cycle with
+	// cycle&calMask == i, in seq order.
+	buckets [][]calEvent
+	// occ is the bucket-occupancy bitmap (1 bit per bucket); it lets the
+	// head scan skip 64 empty cycles per word.
+	occ []uint64
+	// inWindow counts events currently bucketed.
+	inWindow int
+	// cur is the cycle of the batch currently (or last) dispatched.
+	cur Cycle
+	// curIdx indexes the next event in cur's bucket while a batch is being
+	// dispatched; -1 when no batch is open.
+	curIdx int
+	// horizon is the bucket/overflow boundary (see the invariants above).
+	horizon Cycle
+	// overflow holds events at or beyond horizon, ordered by (at, seq).
+	overflow []calEvent
+	// headAt caches the earliest pending time while headValid, so the
+	// occupancy scan runs once per batch rather than once per peek.
+	headAt    Cycle
+	headValid bool
+}
+
+func newCalendarScheduler() *calendarScheduler {
+	return &calendarScheduler{
+		buckets: make([][]calEvent, calWindow),
+		occ:     make([]uint64, calWindow/64),
+		curIdx:  -1,
+		horizon: calWindow,
+	}
+}
+
+func (c *calendarScheduler) schedule(at Cycle, seq uint64, fn func()) {
+	ev := calEvent{at: at, seq: seq, fn: fn}
+	if at < c.horizon {
+		c.bucket(ev)
+	} else {
+		c.overflowPush(ev)
+	}
+	if c.headValid && at < c.headAt {
+		c.headAt = at
+	}
+}
+
+// bucket appends a window event to its cycle's bucket.
+func (c *calendarScheduler) bucket(ev calEvent) {
+	i := int(ev.at & calMask)
+	if len(c.buckets[i]) == 0 {
+		c.occ[i>>6] |= 1 << uint(i&63)
+	}
+	c.buckets[i] = append(c.buckets[i], ev)
+	c.inWindow++
+}
+
+func (c *calendarScheduler) peek() (Cycle, bool) {
+	return c.headTime()
+}
+
+func (c *calendarScheduler) pop() (Cycle, func(), bool) {
+	at, ok := c.headTime()
+	if !ok {
+		return 0, nil, false
+	}
+	if c.curIdx < 0 {
+		// A new batch begins: commit the cursor to its cycle, slide the
+		// window forward and migrate newly eligible overflow events before
+		// reading the bucket. When the head itself came from overflow (the
+		// window was empty past cur), this migration is what fills the
+		// batch's bucket — in (at, seq) order, so the batch dispatches
+		// complete and correctly ordered.
+		c.cur = at
+		c.curIdx = 0
+		c.headValid = false
+		c.advanceHorizon()
+	}
+	b := c.buckets[int(c.cur&calMask)]
+	ev := b[c.curIdx]
+	if ev.at != c.cur {
+		panic(fmt.Sprintf("sim: calendar bucket corrupt: event at %d in bucket for cycle %d", ev.at, c.cur))
+	}
+	c.curIdx++
+	c.inWindow--
+	return ev.at, ev.fn, true
+}
+
+func (c *calendarScheduler) len() int { return c.inWindow + len(c.overflow) }
+
+// headTime returns the earliest pending event time without committing the
+// cursor. It closes a finished batch (releasing its bucket slab) and
+// otherwise serves from the cached scan.
+func (c *calendarScheduler) headTime() (Cycle, bool) {
+	if c.curIdx >= 0 {
+		i := int(c.cur & calMask)
+		b := c.buckets[i]
+		if c.curIdx < len(b) {
+			return c.cur, true // mid-batch: the open bucket still has events
+		}
+		// Batch finished: release the bucket. Dropping the fn pointers lets
+		// the closures be collected while the slab capacity is reused. The
+		// cursor stays on cur — the Engine may legally schedule at this very
+		// cycle again before the clock moves.
+		clear(b)
+		c.buckets[i] = b[:0]
+		c.occ[i>>6] &^= 1 << uint(i&63)
+		c.curIdx = -1
+		c.headValid = false
+	}
+	if c.headValid {
+		return c.headAt, true
+	}
+	switch {
+	case c.inWindow > 0:
+		c.headAt = c.cur + Cycle(c.scan(int(c.cur&calMask)))
+	case len(c.overflow) > 0:
+		c.headAt = c.overflow[0].at
+	default:
+		return 0, false
+	}
+	c.headValid = true
+	return c.headAt, true
+}
+
+// scan returns the distance (in cycles) from bucket index `from` to the
+// next occupied bucket, wrapping around the wheel. The caller guarantees
+// at least one bucket is occupied.
+func (c *calendarScheduler) scan(from int) int {
+	word, bit := from>>6, from&63
+	if v := c.occ[word] >> uint(bit); v != 0 {
+		return bits.TrailingZeros64(v)
+	}
+	mask := len(c.occ) - 1
+	for i := 1; i <= len(c.occ); i++ {
+		if v := c.occ[(word+i)&mask]; v != 0 {
+			return i<<6 - bit + bits.TrailingZeros64(v)
+		}
+	}
+	panic("sim: calendar scan over an empty window")
+}
+
+// advanceHorizon slides the bucket/overflow boundary up to cur+calWindow,
+// migrating every overflow event that now falls inside the window. The
+// migration happens in (at, seq) order, and any bucket it fills received
+// no direct schedules while the migrated event waited (they would have
+// been routed to overflow by the same horizon comparison), so per-bucket
+// seq order is preserved.
+func (c *calendarScheduler) advanceHorizon() {
+	target := c.cur + calWindow
+	if target <= c.horizon {
+		return
+	}
+	c.horizon = target
+	for len(c.overflow) > 0 && c.overflow[0].at < target {
+		c.bucket(c.overflowPop())
+	}
+}
+
+func (c *calendarScheduler) reset() {
+	for i := range c.buckets {
+		if b := c.buckets[i]; len(b) > 0 {
+			clear(b)
+			c.buckets[i] = b[:0]
+		}
+	}
+	clear(c.occ)
+	clear(c.overflow)
+	c.overflow = c.overflow[:0]
+	c.inWindow = 0
+	c.cur = 0
+	c.curIdx = -1
+	c.horizon = calWindow
+	c.headValid = false
+}
+
+// The overflow tier is a hand-rolled value min-heap ordered by (at, seq).
+// container/heap would box every calEvent through its any-typed interface,
+// allocating on exactly the far-future path the tier exists to absorb.
+
+func calLess(a, b calEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (c *calendarScheduler) overflowPush(ev calEvent) {
+	h := append(c.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !calLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	c.overflow = h
+}
+
+func (c *calendarScheduler) overflowPop() calEvent {
+	h := c.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = calEvent{} // release the closure
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && calLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && calLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	c.overflow = h
+	return top
+}

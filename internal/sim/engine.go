@@ -3,15 +3,19 @@
 // components schedule closures on a shared engine and model contention with
 // resource calendars (see resource.go).
 //
-// The kernel is deliberately small: an event heap with deterministic
+// The kernel is deliberately small: a pending-event queue with deterministic
 // tie-breaking, a clock, and a handful of queueing primitives. Determinism is
 // a hard requirement — two runs with the same configuration and seed must
 // produce identical cycle counts — so all iteration orders are defined and no
 // map iteration ever reaches a scheduling decision.
+//
+// Two pending-event queues implement the contract (see scheduler.go): the
+// default calendar queue (calendar.go) and the reference binary heap
+// (heap.go). The differential suite in this package proves them
+// event-for-event identical; which one runs is a pure performance choice.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -27,38 +31,14 @@ const (
 	Never Cycle = 1<<62 - 1
 )
 
-type event struct {
-	at  Cycle
-	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a single-threaded discrete-event simulator.
-// The zero value is not usable; call NewEngine.
+// The zero value is not usable; call NewEngine (use is enforced: scheduling
+// on a zero-value Engine panics with a diagnostic rather than corrupting
+// silently).
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
+	now   Cycle
+	seq   uint64
+	sched scheduler
 	// Executed counts events that have run; useful for progress accounting
 	// and runaway detection in tests.
 	executed uint64
@@ -66,19 +46,38 @@ type Engine struct {
 	// events. It is a safety net against livelocked models.
 	MaxEvents uint64
 	// OnAdvance, when non-nil, is invoked each time the clock advances to a
-	// new value, before that time's events run. It is an observation hook
-	// (metrics sampling drives it); it must not schedule events or mutate
-	// model state — the kernel's determinism contract assumes runs with and
-	// without the hook are byte-identical.
+	// new value, before that time's events run (and for RunUntil's final
+	// jump to the deadline after the queue drains). It is an observation
+	// hook (metrics sampling drives it); it must not schedule events or
+	// mutate model state — the kernel's determinism contract assumes runs
+	// with and without the hook are byte-identical.
 	OnAdvance func(now Cycle)
-	// err records the first scheduling violation (an event in the past);
-	// Run/RunUntil surface it instead of executing on a corrupted timeline.
+	// err records the first violation (an event scheduled in the past, or a
+	// MaxEvents livelock abort); Run/RunUntil surface it instead of
+	// executing on a corrupted timeline, and Schedule/ScheduleAt reject new
+	// events until Reset.
 	err error
 }
 
-// NewEngine returns an engine with the clock at cycle 0.
+// NewEngine returns an engine with the clock at cycle 0, using the default
+// calendar-queue scheduler.
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithScheduler(SchedulerCalendar)
+}
+
+// NewEngineWithScheduler returns an engine with the clock at cycle 0 using
+// the given pending-event queue implementation. Every kind produces the
+// identical dispatch sequence; SchedulerHeap exists as the reference for
+// differential testing.
+func NewEngineWithScheduler(k SchedulerKind) *Engine {
+	return &Engine{sched: newScheduler(k)}
+}
+
+// mustInit panics when the engine was not built by NewEngine.
+func (e *Engine) mustInit() {
+	if e.sched == nil {
+		panic("sim: zero-value Engine is unusable; call NewEngine")
+	}
 }
 
 // Now returns the current simulated time.
@@ -88,7 +87,12 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of scheduled-but-not-yet-run events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	if e.sched == nil {
+		return 0
+	}
+	return e.sched.len()
+}
 
 // Schedule runs fn after delay cycles. A negative delay is an error in the
 // model; it panics because it indicates a bug, not a recoverable condition.
@@ -101,63 +105,100 @@ func (e *Engine) Schedule(delay Cycles, fn func()) {
 
 // ScheduleAt runs fn at absolute time at (>= Now). An event in the past is
 // a model bug: it is rejected (dropped, never reordered onto the timeline)
-// and recorded as an error that Run/RunUntil return.
+// and recorded as an error that Run/RunUntil return. Once an error has been
+// recorded — a past-time violation or a MaxEvents abort — every subsequent
+// event is rejected too, until Reset: the timeline is already corrupt and
+// must not keep growing.
 func (e *Engine) ScheduleAt(at Cycle, fn func()) {
-	if at < e.now {
-		if e.err == nil {
-			e.err = fmt.Errorf("sim: schedule in the past: at=%d now=%d", at, e.now)
-		}
+	e.mustInit()
+	if e.err != nil {
 		return
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	if at < e.now {
+		e.err = fmt.Errorf("sim: schedule in the past: at=%d now=%d", at, e.now)
+		return
+	}
+	e.sched.schedule(at, e.seq, fn)
 	e.seq++
-	heap.Push(&e.events, ev)
 }
 
-// Err returns the first scheduling violation recorded, if any.
+// Err returns the first violation recorded, if any.
 func (e *Engine) Err() error { return e.err }
 
-// Run drains the event heap until it is empty, returning the final time.
-// If MaxEvents is exceeded, Run returns an error describing the livelock;
-// a past-time scheduling violation (see ScheduleAt) also aborts the run.
+// Reset returns the engine to its initial state: clock at 0, no pending
+// events, counters zeroed, any recorded violation cleared. A drained engine
+// must be Reset before reuse — without it, new events would silently
+// continue the old timeline from its final cycle. MaxEvents and OnAdvance
+// are configuration, not run state, and are preserved.
+func (e *Engine) Reset() {
+	e.mustInit()
+	e.sched.reset()
+	e.now = 0
+	e.seq = 0
+	e.executed = 0
+	e.err = nil
+}
+
+// dispatch pops and runs one event, advancing the clock (and firing
+// OnAdvance) when the event begins a new cycle. It returns false when the
+// run must abort on a MaxEvents livelock.
+func (e *Engine) dispatch(at Cycle, fn func()) bool {
+	if at != e.now {
+		if e.OnAdvance != nil {
+			e.OnAdvance(at)
+		}
+		e.now = at
+	}
+	e.executed++
+	if e.MaxEvents != 0 && e.executed > e.MaxEvents {
+		e.err = fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d (livelock?)", e.MaxEvents, e.now)
+		return false
+	}
+	fn()
+	return true
+}
+
+// Run drains the pending-event queue until it is empty, returning the final
+// time. If MaxEvents is exceeded, Run returns an error describing the
+// livelock; a past-time scheduling violation (see ScheduleAt) also aborts
+// the run.
 func (e *Engine) Run() (Cycle, error) {
-	for len(e.events) > 0 {
+	e.mustInit()
+	for e.sched.len() > 0 {
 		if e.err != nil {
 			return e.now, e.err
 		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at != e.now && e.OnAdvance != nil {
-			e.OnAdvance(ev.at)
+		at, fn, _ := e.sched.pop()
+		if !e.dispatch(at, fn) {
+			return e.now, e.err
 		}
-		e.now = ev.at
-		e.executed++
-		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
-			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d (livelock?)", e.MaxEvents, e.now)
-		}
-		ev.fn()
 	}
 	return e.now, e.err
 }
 
-// RunUntil processes events with at <= deadline. Remaining events stay queued
-// and the clock stops at min(deadline, last event time).
+// RunUntil processes events with at <= deadline. Remaining events stay
+// queued and the clock stops at min(deadline, last event time): when the
+// queue drains early the clock jumps forward to the deadline, firing
+// OnAdvance for that final advance so samplers observe the tail window.
 func (e *Engine) RunUntil(deadline Cycle) (Cycle, error) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	e.mustInit()
+	for {
+		at, ok := e.sched.peek()
+		if !ok || at > deadline {
+			break
+		}
 		if e.err != nil {
 			return e.now, e.err
 		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at != e.now && e.OnAdvance != nil {
-			e.OnAdvance(ev.at)
+		at, fn, _ := e.sched.pop()
+		if !e.dispatch(at, fn) {
+			return e.now, e.err
 		}
-		e.now = ev.at
-		e.executed++
-		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
-			return e.now, fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d (livelock?)", e.MaxEvents, e.now)
-		}
-		ev.fn()
 	}
-	if e.now < deadline && len(e.events) == 0 {
+	if e.err == nil && e.now < deadline && e.sched.len() == 0 {
+		if e.OnAdvance != nil {
+			e.OnAdvance(deadline)
+		}
 		e.now = deadline
 	}
 	return e.now, e.err

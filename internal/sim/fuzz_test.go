@@ -1,0 +1,109 @@
+package sim
+
+// Native fuzz target over schedule/run interleavings: any byte string is a
+// scheduling workload (see runScript in differential_test.go), and the heap
+// and calendar schedulers must produce identical observable records on it.
+// The seed corpus is the scripted differential suite, committed under
+// testdata/fuzz so CI's fuzz-smoke job explores outward from exactly those
+// workloads (TestFuzzCorpusSeeded pins the files to the cases).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite the fuzz seed corpus from the scripted differential cases")
+
+func FuzzSchedulerEquivalence(f *testing.F) {
+	for _, tc := range scriptedCases {
+		f.Add(tc.script)
+	}
+	f.Fuzz(func(t *testing.T, script []byte) {
+		// Cap the workload so a single fuzz input stays sub-millisecond:
+		// every byte encodes at most one instruction, and instruction
+		// counts bound event counts.
+		if len(script) > 4096 {
+			script = script[:4096]
+		}
+		heapLog, calLog, div := diffSchedulers(script)
+		if div >= 0 {
+			line := func(log []string) string {
+				if div < len(log) {
+					return log[div]
+				}
+				return "<log ended>"
+			}
+			t.Fatalf("schedulers diverge at record %d:\n  heap:     %s\n  calendar: %s",
+				div, line(heapLog), line(calLog))
+		}
+		for _, l := range calLog {
+			if strings.Contains(l, "must never appear") {
+				t.Fatal("a past-scheduled event was executed")
+			}
+		}
+	})
+}
+
+// TestFuzzCorpusSeeded verifies every scripted differential case is
+// committed to the fuzz seed corpus (and nothing stale lingers), so the CI
+// fuzz job and `go test` replay start from the same workloads. Regenerate
+// with:
+//
+//	go test ./internal/sim -run TestFuzzCorpusSeeded -update-corpus
+func TestFuzzCorpusSeeded(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzSchedulerEquivalence")
+	want := make(map[string]string, len(scriptedCases))
+	names := make([]string, 0, len(scriptedCases))
+	for _, tc := range scriptedCases {
+		name := "seed_" + tc.name
+		want[name] = fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", tc.script)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if *updateCorpus {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(want[name]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d corpus seeds in %s", len(want), dir)
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (run with -update-corpus): %v", err)
+	}
+	got := map[string]bool{}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "seed_") {
+			continue // fuzzing finds may be added manually; leave them be
+		}
+		got[name] = true
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantBody, ok := want[name]; !ok {
+			t.Errorf("stale corpus seed %s (no matching scripted case)", name)
+		} else if string(body) != wantBody {
+			t.Errorf("corpus seed %s drifted from its scripted case (run with -update-corpus)", name)
+		}
+	}
+	for _, name := range names {
+		if !got[name] {
+			t.Errorf("scripted case missing from seed corpus: %s (run with -update-corpus)", name)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// scheduler is the pending-event priority queue behind the Engine. Events
+// are totally ordered by (at, seq): earlier times first, insertion order
+// within a time. The Engine owns seq assignment and past-time rejection;
+// a scheduler only ever sees events with monotonically increasing seq and
+// at >= the time of the last popped event.
+//
+// Two implementations exist:
+//
+//   - heapScheduler (heap.go) is the original binary heap. It is the
+//     reference implementation: small, obviously correct, O(log n) per
+//     operation, one allocation per event.
+//   - calendarScheduler (calendar.go) is a bucketed timing wheel with a
+//     heap overflow tier for far-future events. It dispatches same-cycle
+//     batches in O(1) per event with zero steady-state allocations and is
+//     the default.
+//
+// The differential suite (differential_test.go, FuzzSchedulerEquivalence)
+// pins the two to identical dispatch sequences on arbitrary workloads.
+type scheduler interface {
+	// schedule inserts an event. seq values arrive strictly increasing.
+	schedule(at Cycle, seq uint64, fn func())
+	// peek returns the time of the earliest pending event.
+	peek() (Cycle, bool)
+	// pop removes and returns the earliest pending event.
+	pop() (Cycle, func(), bool)
+	// len returns the number of pending events.
+	len() int
+	// reset discards all pending events, retaining internal capacity.
+	reset()
+}
+
+// SchedulerKind selects the Engine's pending-event queue implementation.
+// Both kinds produce event-for-event identical dispatch sequences — the
+// differential suite in this package enforces it — so the choice is purely
+// a performance one. The zero value is the calendar queue (the default).
+type SchedulerKind uint8
+
+const (
+	// SchedulerCalendar is the calendar-queue (bucketed timing wheel)
+	// scheduler: O(1) amortized per event, allocation-free at steady state.
+	SchedulerCalendar SchedulerKind = iota
+	// SchedulerHeap is the original binary-heap scheduler, kept as the
+	// reference implementation for differential testing.
+	SchedulerHeap
+)
+
+// String names the kind ("calendar", "heap").
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerCalendar:
+		return "calendar"
+	case SchedulerHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("scheduler(%d)", uint8(k))
+}
+
+// ParseSchedulerKind resolves a scheduler name ("calendar", "heap").
+func ParseSchedulerKind(s string) (SchedulerKind, error) {
+	switch s {
+	case "calendar", "":
+		return SchedulerCalendar, nil
+	case "heap":
+		return SchedulerHeap, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (want calendar or heap)", s)
+}
+
+// newScheduler instantiates the kind.
+func newScheduler(k SchedulerKind) scheduler {
+	switch k {
+	case SchedulerHeap:
+		return &heapScheduler{}
+	case SchedulerCalendar:
+		return newCalendarScheduler()
+	}
+	panic(fmt.Sprintf("sim: unknown scheduler kind %d", uint8(k)))
+}

@@ -45,6 +45,10 @@ type Evaluator struct {
 	faultSeed uint64
 	faultMu   sync.Mutex
 	faultAgg  map[PlatformKind]FaultStats
+	// sched selects the event engine's pending-event queue for every
+	// simulation job (zero = calendar). Reports are byte-identical across
+	// kinds, so this never changes a figure.
+	sched SchedulerKind
 }
 
 // NewEvaluator returns an evaluator running rc's scale on a pool of the
@@ -93,6 +97,15 @@ func (e *Evaluator) WithFaults(prof FaultProfile, seed uint64) *Evaluator {
 	if prof.Enabled() {
 		e.faultAgg = make(map[PlatformKind]FaultStats)
 	}
+	return e
+}
+
+// WithScheduler selects the event engine's pending-event queue for every
+// subsequent simulation job. Reports are byte-identical across kinds (see
+// WithScheduler in run.go), so this never changes a figure. It returns the
+// evaluator for chaining.
+func (e *Evaluator) WithScheduler(k SchedulerKind) *Evaluator {
+	e.sched = k
 	return e
 }
 
@@ -187,7 +200,8 @@ func (e *Evaluator) simJob(app Application, sp Species, flow KmerFlow, p Platfor
 			}
 			res, err := Run(p, wl,
 				WithObserver(e.obsCol.New(label)),
-				WithFaultInjection(e.faults, e.faultSeed))
+				WithFaultInjection(e.faults, e.faultSeed),
+				WithScheduler(e.sched))
 			if err != nil {
 				return nil, err
 			}
@@ -541,6 +555,10 @@ type EvalOptions struct {
 	// WorkloadCache, when non-nil, backs workload construction with the
 	// on-disk content-addressed cache. Results are identical either way.
 	WorkloadCache *WorkloadCache
+	// Scheduler selects the event engine's pending-event queue for every
+	// simulation job (zero = calendar). Results are byte-identical across
+	// kinds; the heap kind exists for differential cross-checks.
+	Scheduler SchedulerKind
 }
 
 // Evaluation holds every table and figure of the paper's evaluation
@@ -574,7 +592,8 @@ func RunEvaluation(ctx context.Context, rc RunConfig, opts EvalOptions) (*Evalua
 	e := NewEvaluator(rc, opts.Jobs).WithTimeout(opts.Timeout).
 		WithObservability(opts.Obs).WithProgress(opts.Progress).
 		WithFaults(opts.Faults, opts.FaultSeed).
-		WithWorkloadCache(opts.WorkloadCache)
+		WithWorkloadCache(opts.WorkloadCache).
+		WithScheduler(opts.Scheduler)
 	ctx, cancel := e.context(ctx)
 	defer cancel()
 	// The evaluator's per-figure timeout is already applied to ctx here;

@@ -8,6 +8,7 @@ import (
 	"beacon/internal/core"
 	"beacon/internal/fault"
 	"beacon/internal/obs"
+	"beacon/internal/sim"
 	"beacon/internal/stats"
 	"beacon/internal/trace"
 )
@@ -18,6 +19,24 @@ type FaultProfile = fault.Profile
 
 // FaultStats counts injected faults and recovery actions.
 type FaultStats = fault.Stats
+
+// SchedulerKind selects the event engine's pending-event queue
+// implementation (see internal/sim): the calendar queue (the zero value and
+// the fast default) or the reference binary heap kept for differential
+// testing. Every kind produces the identical dispatch sequence — and
+// therefore byte-identical reports — so choosing one is a pure performance
+// decision.
+type SchedulerKind = sim.SchedulerKind
+
+// The scheduler kinds.
+const (
+	SchedulerCalendar = sim.SchedulerCalendar
+	SchedulerHeap     = sim.SchedulerHeap
+)
+
+// ParseSchedulerKind parses a scheduler name: "calendar" (also ""), or
+// "heap".
+func ParseSchedulerKind(s string) (SchedulerKind, error) { return sim.ParseSchedulerKind(s) }
 
 // DefaultFaultProfile returns the moderate fault-rate profile.
 func DefaultFaultProfile() FaultProfile { return fault.DefaultProfile() }
@@ -113,6 +132,10 @@ type Platform struct {
 	Faults FaultProfile
 	// FaultSeed seeds the per-component fault streams.
 	FaultSeed uint64
+	// Scheduler selects the event engine's pending-event queue (zero value
+	// = calendar queue). Reports are byte-identical across kinds. The CPU
+	// baseline is analytic and has no event engine.
+	Scheduler SchedulerKind
 }
 
 // Report summarizes one simulation.
@@ -214,6 +237,7 @@ func simulateOne(p Platform, w *Workload, ob *obs.Obs) (*Report, error) {
 		}
 		cfg.IdealComm = p.Opts.IdealComm
 		cfg.Obs = ob
+		cfg.Scheduler = p.Scheduler
 		res, err := baseline.RunDDR(cfg, w.tr)
 		if err != nil {
 			return nil, err
@@ -239,6 +263,7 @@ func simulateOne(p Platform, w *Workload, ob *obs.Obs) (*Report, error) {
 		cfg.Obs = ob
 		cfg.Faults = p.Faults
 		cfg.FaultSeed = p.FaultSeed
+		cfg.Scheduler = p.Scheduler
 		res, err := core.Run(cfg, w.tr)
 		if err != nil {
 			return nil, err
@@ -311,7 +336,9 @@ func simulateShared(p Platform, wls []*Workload) (*SharedReport, error) {
 		traces = append(traces, w.tr)
 		names[i] = w.Name
 	}
-	res, err := core.RunShared(core.DefaultConfig(design, p.Opts.coreOpts()), traces)
+	cfg := core.DefaultConfig(design, p.Opts.coreOpts())
+	cfg.Scheduler = p.Scheduler
+	res, err := core.RunShared(cfg, traces)
 	if err != nil {
 		return nil, err
 	}

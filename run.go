@@ -15,6 +15,8 @@ type runSettings struct {
 	faults    FaultProfile
 	faultSeed uint64
 	setFaults bool
+	sched     SchedulerKind
+	setSched  bool
 	shared    bool
 	coRun     []*Workload
 }
@@ -36,6 +38,19 @@ func WithFaultInjection(profile FaultProfile, seed uint64) RunOption {
 		s.faults = profile
 		s.faultSeed = seed
 		s.setFaults = true
+	}
+}
+
+// WithScheduler selects the event engine's pending-event queue
+// implementation (overriding the Platform's own Scheduler field): the
+// calendar queue (the default) or the reference binary heap. Reports are
+// byte-identical across kinds — the differential suite in internal/sim
+// proves the dispatch sequences equal — so this is a performance knob and
+// a determinism cross-check, never a modeling choice.
+func WithScheduler(k SchedulerKind) RunOption {
+	return func(s *runSettings) {
+		s.sched = k
+		s.setSched = true
 	}
 }
 
@@ -78,6 +93,9 @@ func Run(p Platform, w *Workload, opts ...RunOption) (*RunResult, error) {
 	if s.setFaults {
 		p.Faults = s.faults
 		p.FaultSeed = s.faultSeed
+	}
+	if s.setSched {
+		p.Scheduler = s.sched
 	}
 	if s.shared {
 		if s.ob != nil {

@@ -10,12 +10,18 @@
 //     the call (it would panic at runtime — catch it at compile time);
 //   - the error result of Engine.Run / Engine.RunUntil must not be
 //     discarded, neither by an expression statement nor by assigning the
-//     error position to the blank identifier.
+//     error position to the blank identifier;
+//   - a zero-value sim.Engine must not be constructed outside package sim
+//     (composite literal, new(), a value-typed variable or struct field):
+//     the zero value has no pending-event queue and panics on first use —
+//     NewEngine / NewEngineWithScheduler are the only constructors.
 package cycleclock
 
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
+	"strings"
 
 	"beacon/tools/beaconlint/analysis"
 )
@@ -23,7 +29,7 @@ import (
 // Analyzer is the cycleclock analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "cycleclock",
-	Doc:  "require non-negative sim.Engine delays and checked Run/RunUntil errors",
+	Doc:  "require non-negative sim.Engine delays, checked Run/RunUntil errors, and NewEngine-built engines",
 	Run:  run,
 }
 
@@ -31,6 +37,10 @@ const simPkg = "beacon/internal/sim"
 
 func run(pass *analysis.Pass) error {
 	info := pass.TypesInfo
+	// Package sim itself may name its zero value (the constructors and
+	// their tests must); everywhere else construction goes through
+	// NewEngine.
+	inSim := pass.PkgPath == simPkg || strings.HasPrefix(pass.PkgPath, simPkg+"_test")
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -40,6 +50,32 @@ func run(pass *analysis.Pass) error {
 					if tv, ok := info.Types[n.Args[0]]; ok && tv.Value != nil &&
 						tv.Value.Kind() == constant.Int && constant.Sign(tv.Value) < 0 {
 						pass.Reportf(n.Args[0].Pos(), "negative delay %s passed to (*sim.Engine).Schedule; delays are relative cycles and must be >= 0", tv.Value)
+					}
+				}
+				if !inSim && len(n.Args) == 1 {
+					if b, ok := analysis.Callee(info, n).(*types.Builtin); ok && b.Name() == "new" {
+						if tv, ok := info.Types[n.Args[0]]; ok && isEngine(tv.Type) {
+							pass.Reportf(n.Pos(), "new(sim.Engine) builds an unusable zero-value engine; call sim.NewEngine")
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if !inSim {
+					if tv, ok := info.Types[n]; ok && isEngine(tv.Type) {
+						pass.Reportf(n.Pos(), "sim.Engine composite literal builds an unusable zero-value engine; call sim.NewEngine")
+					}
+				}
+			case *ast.ValueSpec:
+				if !inSim && n.Type != nil && isEngine(info.TypeOf(n.Type)) {
+					pass.Reportf(n.Type.Pos(), "variable declared with value type sim.Engine starts as an unusable zero value; declare *sim.Engine and call sim.NewEngine")
+				}
+			case *ast.StructType:
+				if inSim || n.Fields == nil {
+					return true
+				}
+				for _, f := range n.Fields.List {
+					if isEngine(info.TypeOf(f.Type)) {
+						pass.Reportf(f.Type.Pos(), "struct field with value type sim.Engine embeds an unusable zero value; store *sim.Engine built by sim.NewEngine")
 					}
 				}
 			case *ast.ExprStmt:
@@ -71,6 +107,17 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// isEngine reports whether t is the value type sim.Engine (not a pointer
+// to it).
+func isEngine(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == simPkg && obj.Name() == "Engine"
 }
 
 // runCall reports whether expr is a call to Engine.Run or Engine.RunUntil,

@@ -28,3 +28,26 @@ func variableDelayOK(e *sim.Engine, d sim.Cycles) {
 	// Non-constant delays are the engine's runtime panic to enforce.
 	e.Schedule(d, func() {})
 }
+
+// Zero-value construction: the engine's pending-event queue only exists
+// after NewEngine, so every zero-value path is diagnosed.
+
+var pkgLevelEngine sim.Engine // want `variable declared with value type sim\.Engine`
+
+type machine struct {
+	eng sim.Engine // want `struct field with value type sim\.Engine`
+}
+
+type machineOK struct {
+	eng *sim.Engine // pointer field filled by NewEngine: no diagnostic
+}
+
+func zeroValueConstruction() {
+	var e sim.Engine        // want `variable declared with value type sim\.Engine`
+	_ = &sim.Engine{}       // want `sim\.Engine composite literal`
+	_ = new(sim.Engine)     // want `new\(sim\.Engine\) builds an unusable zero-value engine`
+	ok := sim.NewEngine()   // constructor: no diagnostic
+	var okPtr *sim.Engine   // pointer variable: no diagnostic
+	okPtr = sim.NewEngine() // assignment of a constructed engine: no diagnostic
+	_, _, _, _ = e, ok, okPtr, pkgLevelEngine
+}
