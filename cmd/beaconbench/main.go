@@ -14,7 +14,11 @@
 //
 //	beaconbench -quick -progress                  # live per-job log on stderr
 //	beaconbench -quick -metrics m.json -trace t.json
+//	beaconbench -quick -metrics m.om -metrics-format openmetrics
 //	beaconbench -version                          # build identity
+//
+// Metrics artifacts feed cmd/beaconprof (utilization/bottleneck reports
+// and run diffs).
 //
 // Fault injection (deterministic; same profile + seed → identical output):
 //

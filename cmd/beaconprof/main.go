@@ -1,0 +1,212 @@
+// Command beaconprof analyzes the metrics artifacts the other beacon
+// commands write with -metrics: it attributes every simulated cycle of
+// every accounted resource (DIMMs, links, switch buses, PEs, atomic
+// banks) to busy/stalled/idle, ranks resources by occupancy to name the
+// run's bottleneck, and diffs two artifacts under per-metric tolerances
+// for regression gating.
+//
+// Modes:
+//
+//	beaconprof run.json                    utilization + bottleneck report
+//	beaconprof -top 5 -windows 12 run.json ... with a critical-resource timeline
+//	beaconprof -diff a.json b.json         compare artifacts (exit 1 on diff)
+//	beaconprof -diff -tol 0.01 a.json b.json
+//	beaconprof -diff -metric-tol 'util.*=0.05' a.json b.json
+//	beaconprof -check metrics.om           validate an OpenMetrics exposition
+//
+// Exit status: 0 on success (and on an empty diff), 1 when -diff found
+// differences, 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+
+	"beacon/internal/obs"
+	"beacon/internal/report"
+)
+
+// tolFlag collects repeatable -metric-tol pattern=tolerance values.
+type tolFlag struct {
+	tols []obs.MetricTolerance
+}
+
+func (t *tolFlag) String() string {
+	parts := make([]string, 0, len(t.tols))
+	for _, mt := range t.tols {
+		parts = append(parts, fmt.Sprintf("%s=%g", mt.Pattern, mt.Tolerance))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tolFlag) Set(s string) error {
+	pat, tol, ok := strings.Cut(s, "=")
+	if !ok || pat == "" {
+		return fmt.Errorf("want pattern=tolerance, got %q", s)
+	}
+	v, err := strconv.ParseFloat(tol, 64)
+	if err != nil || v < 0 {
+		return fmt.Errorf("bad tolerance in %q", s)
+	}
+	if _, err := path.Match(pat, ""); err != nil {
+		return fmt.Errorf("bad pattern %q: %v", pat, err)
+	}
+	t.tols = append(t.tols, obs.MetricTolerance{Pattern: pat, Tolerance: v})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beaconprof: ")
+
+	var (
+		diff    = flag.Bool("diff", false, "compare two metrics artifacts; exit 1 when they differ")
+		check   = flag.Bool("check", false, "parse-validate an OpenMetrics exposition file")
+		top     = flag.Int("top", 10, "resources per utilization table (0 = all)")
+		windows = flag.Int("windows", 0, "critical-resource timeline rows (0 = off; needs -sample'd artifacts)")
+		classes = flag.Bool("class", true, "print the per-class rollup table")
+		jobGlob = flag.String("job", "*", "only report jobs whose label matches this `glob`")
+		tol     = flag.Float64("tol", 0, "default relative tolerance for -diff (|a-b|/max(|a|,|b|))")
+		version = flag.Bool("version", false, "print build information and exit")
+	)
+	var perMetric tolFlag
+	flag.Var(&perMetric, "metric-tol", "per-metric tolerance `pattern=tol` for -diff (repeatable; first match wins)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: beaconprof [flags] artifact.json\n"+
+				"       beaconprof -diff [flags] a.json b.json\n"+
+				"       beaconprof -check metrics.om\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.ReadBuildInfo())
+		return
+	}
+
+	switch {
+	case *diff && *check:
+		usageError("-diff and -check are mutually exclusive")
+	case *diff:
+		if flag.NArg() != 2 {
+			usageError("-diff needs exactly two artifacts")
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), obs.DiffOptions{Tolerance: *tol, PerMetric: perMetric.tols})
+	case *check:
+		if flag.NArg() != 1 {
+			usageError("-check needs exactly one exposition file")
+		}
+		runCheck(flag.Arg(0))
+	default:
+		if flag.NArg() != 1 {
+			usageError("need exactly one metrics artifact")
+		}
+		runReport(flag.Arg(0), *jobGlob, *top, *windows, *classes)
+	}
+}
+
+// usageError prints the message plus usage and exits 2.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "beaconprof:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// fatal reports an input/IO error and exits 2 (reserving 1 for "artifacts
+// differ" so CI can tell regressions from harness breakage).
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beaconprof:", err)
+	os.Exit(2)
+}
+
+func readArtifact(p string) *obs.MetricsDump {
+	fh, err := os.Open(p)
+	if err != nil {
+		fatal(err)
+	}
+	defer fh.Close()
+	d, err := obs.ReadMetricsJSON(fh)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", p, err))
+	}
+	return d
+}
+
+// matchLabel matches a job label against a glob whose '*' crosses the
+// '/' separators labels contain (path.Match stops '*' at '/', which would
+// make the default "*" skip every real label).
+func matchLabel(pattern, label string) (bool, error) {
+	const sep = "\x1f" // placeholder no label or pattern contains
+	return path.Match(strings.ReplaceAll(pattern, "/", sep),
+		strings.ReplaceAll(label, "/", sep))
+}
+
+// runReport renders the utilization/bottleneck report for one artifact.
+func runReport(artifact, jobGlob string, top, windows int, classes bool) {
+	d := readArtifact(artifact)
+	matched := 0
+	for _, job := range d.Jobs {
+		if ok, err := matchLabel(jobGlob, job.Label); err != nil {
+			fatal(fmt.Errorf("bad -job pattern %q: %v", jobGlob, err))
+		} else if !ok {
+			continue
+		}
+		matched++
+		p := obs.NewProfile(job.Metrics.Snapshots)
+		fmt.Printf("job %s  [%d cycles, %d snapshots]\n",
+			job.Label, p.Run.Span(), len(job.Metrics.Snapshots))
+		fmt.Println("  " + report.CriticalSummary(p))
+		fmt.Println()
+		fmt.Print(report.UtilizationTable("utilization (whole run)", p.Run, top))
+		if classes {
+			fmt.Println()
+			fmt.Print(report.ClassTable("per-class rollup", p))
+		}
+		if windows > 0 {
+			fmt.Println()
+			fmt.Print(report.WindowTable("critical-resource timeline", p, windows))
+		}
+		fmt.Println()
+	}
+	if matched == 0 {
+		fatal(fmt.Errorf("%s: no job matches %q (artifact has %d jobs)", artifact, jobGlob, len(d.Jobs)))
+	}
+}
+
+// runDiff compares two artifacts and exits 1 when differences remain.
+func runDiff(pa, pb string, opt obs.DiffOptions) {
+	a, b := readArtifact(pa), readArtifact(pb)
+	diffs := obs.DiffMetrics(a, b, opt)
+	if len(diffs) == 0 {
+		fmt.Printf("artifacts agree: %d jobs, tolerance %g\n", len(a.Jobs), opt.Tolerance)
+		return
+	}
+	for _, d := range diffs {
+		fmt.Println(d.String())
+	}
+	fmt.Printf("%d differences (a=%s b=%s)\n", len(diffs), pa, pb)
+	os.Exit(1)
+}
+
+// runCheck parse-validates an OpenMetrics exposition.
+func runCheck(p string) {
+	fh, err := os.Open(p)
+	if err != nil {
+		fatal(err)
+	}
+	defer fh.Close()
+	fams, err := obs.ParseOpenMetrics(fh)
+	if err != nil {
+		fatal(err)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("%s: valid OpenMetrics: %d families, %d samples\n", p, len(fams), samples)
+}

@@ -13,7 +13,12 @@
 // Observability (all observation-only — reports are byte-identical):
 //
 //	beaconsim -platform beacon-d -metrics m.json -trace t.json -sample 10000
+//	beaconsim -platform beacon-d -metrics m.om -metrics-format openmetrics
 //	beaconsim -version
+//
+// Metrics artifacts feed cmd/beaconprof (utilization/bottleneck reports
+// and run diffs); the openmetrics format is the Prometheus text
+// exposition.
 //
 // Fault injection (deterministic; same profile + seed → identical output):
 //

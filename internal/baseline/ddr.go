@@ -261,15 +261,26 @@ func (m *DDRMachine) instrument(ob *obs.Obs) {
 	for _, mod := range m.modules {
 		mod.Instrument(ob)
 	}
+	// Channel buses and the host bridge account their cycles through the
+	// Accountant (util.* gauges), replacing the old ad-hoc ddr.*.busy_cycles
+	// gauges with the same polled counters plus queueing wait.
 	tr := ob.Tracer()
+	ac := ob.Accountant()
+	pipe := func(p *sim.Pipe, class string) {
+		p.Instrument(tr, "xfer")
+		ac.Track(obs.Meter{
+			Class: class,
+			Name:  p.Name(),
+			Width: p.Width(),
+			Busy:  func() int64 { return int64(p.BusyCycles()) },
+			Wait:  func() int64 { return int64(p.WaitCycles()) },
+		})
+	}
 	for _, bus := range m.chanBus {
-		bus.Instrument(tr, "xfer")
-		b := bus
-		reg.Gauge("ddr."+b.Name()+".busy_cycles", func() float64 { return float64(b.BusyCycles()) })
+		pipe(bus, obs.ClassBus)
 	}
 	if m.host != nil {
-		m.host.Instrument(tr, "xfer")
-		reg.Gauge("ddr.hostbridge.busy_cycles", func() float64 { return float64(m.host.BusyCycles()) })
+		pipe(m.host, obs.ClassHostBridge)
 	}
 }
 

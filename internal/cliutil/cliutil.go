@@ -25,8 +25,12 @@ type Flags struct {
 	// Version prints build information and exits.
 	Version bool
 	// Metrics is the metrics output path ("" = off). A ".csv" suffix
-	// selects CSV, anything else JSON.
+	// selects CSV, anything else the -metrics-format encoding.
 	Metrics string
+	// MetricsFormat selects the non-CSV metrics encoding: "json" (the
+	// beaconprof artifact format) or "openmetrics" (Prometheus text
+	// exposition).
+	MetricsFormat string
 	// Trace is the Chrome trace_event JSON output path ("" = off).
 	Trace string
 	// Progress streams one line per finished simulation job to stderr.
@@ -61,7 +65,8 @@ type Flags struct {
 func Register(traceCap int) *Flags {
 	f := &Flags{}
 	flag.BoolVar(&f.Version, "version", false, "print build information and exit")
-	flag.StringVar(&f.Metrics, "metrics", "", "write per-job metrics to `file` (.csv for CSV, else JSON)")
+	flag.StringVar(&f.Metrics, "metrics", "", "write per-job metrics to `file` (.csv for CSV, else -metrics-format)")
+	flag.StringVar(&f.MetricsFormat, "metrics-format", "json", "non-CSV metrics `encoding` (json, openmetrics)")
 	flag.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON timeline to `file` (open at https://ui.perfetto.dev)")
 	flag.BoolVar(&f.Progress, "progress", false, "stream per-job progress lines to stderr")
 	flag.Int64Var(&f.Sample, "sample", 0, "metrics snapshot interval in simulated `cycles` (0 = final snapshot only)")
@@ -198,7 +203,14 @@ func (f *Flags) WriteOutputs(col *obs.Collection) error {
 			if strings.HasSuffix(f.Metrics, ".csv") {
 				return col.WriteMetricsCSV(w)
 			}
-			return col.WriteMetricsJSON(w)
+			switch f.MetricsFormat {
+			case "", "json":
+				return col.WriteMetricsJSON(w)
+			case "openmetrics":
+				return col.WriteOpenMetrics(w)
+			default:
+				return fmt.Errorf("unknown -metrics-format %q (want json or openmetrics)", f.MetricsFormat)
+			}
 		}); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}

@@ -194,8 +194,26 @@ func (m *Machine) instrument(ob *obs.Obs) {
 		mod.Instrument(ob)
 		m.taskTracks = append(m.taskTracks, ob.Tracer().Track(fmt.Sprintf("node%d.tasks", i)))
 	}
+	ac := ob.Accountant()
 	for _, a := range m.atomics {
 		a.Instrument(ob.Tracer(), "rmw")
+		a := a
+		ac.Track(obs.Meter{
+			Class: obs.ClassAtomic,
+			Name:  a.Name(),
+			Width: a.Width(),
+			Busy:  func() int64 { return int64(a.BusyCycles()) },
+			Wait:  func() int64 { return int64(a.WaitCycles()) },
+		})
+	}
+	if m.hostCPU != nil {
+		ac.Track(obs.Meter{
+			Class: obs.ClassHostCPU,
+			Name:  m.hostCPU.Name(),
+			Width: m.hostCPU.Width(),
+			Busy:  func() int64 { return int64(m.hostCPU.BusyCycles()) },
+			Wait:  func() int64 { return int64(m.hostCPU.WaitCycles()) },
+		})
 	}
 	if m.inj != nil {
 		m.inj.Instrument(ob)
@@ -608,9 +626,14 @@ func (m *Machine) Run(wl *trace.Workload) (*Result, error) {
 			res.DRAM.RowMisses += st.RowMisses
 			res.DRAM.RowConflicts += st.RowConflicts
 			res.DRAM.Activations += st.Activations
+			res.DRAM.Refreshes += st.Refreshes
+			res.DRAM.FAWStalls += st.FAWStalls
 			res.DRAM.BurstsIssued += st.BurstsIssued
 			res.DRAM.UsefulBytes += st.UsefulBytes
 			res.DRAM.TransferredBytes += st.TransferredBytes
+			res.DRAM.BusyCyclesByChips += st.BusyCyclesByChips
+			res.DRAM.FAWStallCycles += st.FAWStallCycles
+			res.DRAM.RefreshStallCycles += st.RefreshStallCycles
 			if d < m.cfg.CXLGPerSwitch {
 				if cxlgChips == nil {
 					cxlgChips = make([]uint64, len(st.PerChipAccesses))

@@ -262,21 +262,33 @@ func (f *Fabric) Instrument(ob *obs.Obs) {
 	reg.Gauge("cxl.host_crossings", func() float64 { return float64(f.stats.HostCrossings) })
 	reg.Gauge("cxl.switch_bus_bytes", func() float64 { return float64(f.stats.SwitchBusBytes) })
 	reg.Gauge("cxl.messages", func() float64 { return float64(f.stats.Messages) })
-	pipe := func(p *sim.Pipe) {
+	// Per-pipe accounting rides the Accountant: each link direction,
+	// switch-bus and packer registers a span polling the pipe's own lane
+	// calendar (busy + queueing wait), which both replaces the old ad-hoc
+	// cxl.<pipe>.busy_cycles gauges with util.* ones and feeds bottleneck
+	// attribution.
+	ac := ob.Accountant()
+	pipe := func(p *sim.Pipe, class string) {
 		p.Instrument(tr, "xfer")
-		reg.Gauge("cxl."+p.Name()+".busy_cycles", func() float64 { return float64(p.BusyCycles()) })
 		reg.Gauge("cxl."+p.Name()+".bytes_moved", func() float64 { return float64(p.BytesMoved()) })
+		ac.Track(obs.Meter{
+			Class: class,
+			Name:  p.Name(),
+			Width: p.Width(),
+			Busy:  func() int64 { return int64(p.BusyCycles()) },
+			Wait:  func() int64 { return int64(p.WaitCycles()) },
+		})
 	}
 	for s := range f.hostLinks {
-		pipe(f.hostLinks[s].up)
-		pipe(f.hostLinks[s].down)
-		pipe(f.bus[s])
-		pipe(f.packers[s])
+		pipe(f.hostLinks[s].up, obs.ClassLink)
+		pipe(f.hostLinks[s].down, obs.ClassLink)
+		pipe(f.bus[s], obs.ClassSwitch)
+		pipe(f.packers[s], obs.ClassPacker)
 	}
 	for s := range f.dimmLinks {
 		for d := range f.dimmLinks[s] {
-			pipe(f.dimmLinks[s][d].up)
-			pipe(f.dimmLinks[s][d].down)
+			pipe(f.dimmLinks[s][d].up, obs.ClassLink)
+			pipe(f.dimmLinks[s][d].down, obs.ClassLink)
 		}
 	}
 }

@@ -55,18 +55,26 @@ type Loc struct {
 
 // Stats aggregates a DIMM's activity counters.
 type Stats struct {
-	Reads, Writes     uint64
-	RowHits           uint64
-	RowMisses         uint64 // activation on an idle (precharged) bank
-	RowConflicts      uint64 // activation requiring a precharge first
-	Activations       uint64
-	Refreshes         uint64
-	FAWStalls         uint64
-	BurstsIssued      uint64
-	UsefulBytes       uint64
-	TransferredBytes  uint64 // includes useless lock-step bytes
-	PerChipAccesses   []uint64
+	Reads, Writes    uint64
+	RowHits          uint64
+	RowMisses        uint64 // activation on an idle (precharged) bank
+	RowConflicts     uint64 // activation requiring a precharge first
+	Activations      uint64
+	Refreshes        uint64
+	FAWStalls        uint64 // accesses delayed by the tFAW window
+	BurstsIssued     uint64
+	UsefulBytes      uint64
+	TransferredBytes uint64 // includes useless lock-step bytes
+	PerChipAccesses  []uint64
+	// BusyCyclesByChips is the aggregate chip data-bus busy time: burst
+	// cycles summed over every chip that served each access. This is the
+	// DIMM's "busy" series in cycle accounting (see obs.Accountant).
 	BusyCyclesByChips sim.Cycles
+	// FAWStallCycles is the total delay tFAW imposed on access starts;
+	// RefreshStallCycles the total tRFC charged by lazy refresh
+	// accounting. Together they are the DIMM's "stalled" series.
+	FAWStallCycles     sim.Cycles
+	RefreshStallCycles sim.Cycles
 }
 
 // DIMM is one simulated module. All methods are single-goroutine, in keeping
@@ -193,7 +201,41 @@ func (d *DIMM) Instrument(ob *obs.Obs) {
 		v := g.v
 		reg.Gauge(prefix+g.name, func() float64 { return float64(*v) })
 	}
+	for _, g := range []struct {
+		name string
+		v    *sim.Cycles
+	}{
+		{"busy_cycles_by_chips", &d.stats.BusyCyclesByChips},
+		{"faw_stall_cycles", &d.stats.FAWStallCycles},
+		{"refresh_stall_cycles", &d.stats.RefreshStallCycles},
+	} {
+		v := g.v
+		reg.Gauge(prefix+g.name, func() float64 { return float64(*v) })
+	}
 	reg.Gauge(prefix+"chip_imbalance", d.ChipImbalance)
+	// Cycle accounting: the chip data buses are the DIMM's capacity. Busy
+	// and stall poll the stats counters above — one source of truth — and
+	// wait sums the queueing delay behind every chip calendar.
+	ob.Accountant().Track(obs.Meter{
+		Class: obs.ClassDIMM,
+		Name:  d.name,
+		Width: d.cfg.Ranks * d.cfg.ChipsPerRank,
+		Busy:  func() int64 { return int64(d.stats.BusyCyclesByChips) },
+		Stall: func() int64 { return int64(d.stats.FAWStallCycles + d.stats.RefreshStallCycles) },
+		Wait:  d.chipWaitCycles,
+	})
+}
+
+// chipWaitCycles sums the queueing delay accumulated behind every chip
+// data bus (polled at snapshot time only).
+func (d *DIMM) chipWaitCycles() int64 {
+	var w sim.Cycles
+	for _, rank := range d.chips {
+		for _, c := range rank {
+			w += c.WaitCycles()
+		}
+	}
+	return int64(w)
 }
 
 // Stats returns a copy of the activity counters.
@@ -290,6 +332,7 @@ func (d *DIMM) Access(now sim.Cycle, loc Loc, bytes int, write bool, mode Access
 			prep += d.cfg.TRFC
 			d.lastRefresh[loc.Rank][first][loc.Bank] = window
 			d.stats.Refreshes++
+			d.stats.RefreshStallCycles += sim.Cycles(d.cfg.TRFC)
 		}
 	}
 
@@ -297,6 +340,7 @@ func (d *DIMM) Access(now sim.Cycle, loc Loc, bytes int, write bool, mode Access
 	perBurst := width * d.cfg.ChipIOBytes
 	bursts := (bytes + perBurst - 1) / perBurst
 	occupancy := sim.Cycles(prep + bursts*d.cfg.TBL)
+	d.stats.BusyCyclesByChips += sim.Cycles(width * bursts * d.cfg.TBL)
 
 	// tFAW: at most four activations per chip per rolling window. The
 	// leading chip's history gates the whole set (they activate together).
@@ -305,6 +349,7 @@ func (d *DIMM) Access(now sim.Cycle, loc Loc, bytes int, write bool, mode Access
 		idx := d.actIdx[loc.Rank][first]
 		oldest := d.actTimes[loc.Rank][first][idx]
 		if lim := oldest + sim.Cycles(d.cfg.TFAW); lim > earliest {
+			d.stats.FAWStallCycles += sim.Cycles(lim - earliest)
 			earliest = lim
 			d.stats.FAWStalls++
 		}

@@ -66,7 +66,10 @@ type Module struct {
 	limit   int
 	// stats
 	admitted, completed int
-	peBusy              sim.Cycles
+	// peBusy is useful compute time; peStall is fault-stall time that
+	// occupied a PE slot without doing work. Their sum equals the PE
+	// pool's granted cycles.
+	peBusy, peStall sim.Cycles
 	// flt, when enabled, rolls transient PE stalls per compute step.
 	flt fault.Component
 }
@@ -105,7 +108,27 @@ func (m *Module) Instrument(ob *obs.Obs) {
 	reg.Gauge(prefix+"active", func() float64 { return float64(m.active) })
 	reg.Gauge(prefix+"admitted", func() float64 { return float64(m.admitted) })
 	reg.Gauge(prefix+"completed", func() float64 { return float64(m.completed) })
-	reg.Gauge(prefix+"pe_busy_cycles", func() float64 { return float64(m.peBusy) })
+	// Cycle accounting: compute vs fault-stall vs idle for the PE pool,
+	// plus the atomic bank's occupancy. The spans poll the module's own
+	// counters (peBusy/peStall and the calendars' busy cycles), which stay
+	// the single source of truth; the util.* gauges they register replace
+	// the old ad-hoc pe_busy_cycles gauge.
+	ac := ob.Accountant()
+	ac.Track(obs.Meter{
+		Class: obs.ClassPE,
+		Name:  m.name,
+		Width: m.cfg.PEs,
+		Busy:  func() int64 { return int64(m.peBusy) },
+		Stall: func() int64 { return int64(m.peStall) },
+		Wait:  func() int64 { return int64(m.pes.WaitCycles()) },
+	})
+	ac.Track(obs.Meter{
+		Class: obs.ClassAtomic,
+		Name:  m.name,
+		Width: m.cfg.AtomicEngines,
+		Busy:  func() int64 { return int64(m.atomics.BusyCycles()) },
+		Wait:  func() int64 { return int64(m.atomics.WaitCycles()) },
+	})
 }
 
 // SetInjector enables transient-stall injection on this module's PEs.
@@ -130,6 +153,9 @@ func (m *Module) Completed() int { return m.completed }
 
 // PEBusyCycles returns accumulated PE busy time.
 func (m *Module) PEBusyCycles() sim.Cycles { return m.peBusy }
+
+// PEStallCycles returns accumulated fault-stall time on the PE pool.
+func (m *Module) PEStallCycles() sim.Cycles { return m.peStall }
 
 // Admit pops tasks from the backlog while queue capacity remains, invoking
 // start for each. start runs synchronously (it typically issues the task's
@@ -166,8 +192,11 @@ func (m *Module) Compute(now sim.Cycle, engine trace.Engine, step trace.Step) si
 	if m.flt.Enabled() {
 		// A wedged PE occupies its slot for the stall but does no work, so
 		// the stall extends occupancy without inflating the busy-energy
-		// counter.
-		compute += m.flt.NDPStall(now)
+		// counter; the stall cycles land in peStall for utilization
+		// accounting instead.
+		stall := m.flt.NDPStall(now)
+		m.peStall += stall
+		compute += stall
 	}
 	_, end := m.pes.Acquire(now, compute)
 	return end

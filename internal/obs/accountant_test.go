@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestAccountantNilSafety(t *testing.T) {
+	var a *Accountant
+	s := a.Track(Meter{Class: ClassDIMM, Name: "d", Width: 4})
+	if s != nil {
+		t.Fatal("nil accountant must return nil span")
+	}
+	if a.TrackDirect(ClassPE, "p", 2) != nil {
+		t.Fatal("nil accountant TrackDirect must return nil span")
+	}
+	if a.Spans() != nil {
+		t.Fatal("nil accountant must have no spans")
+	}
+	// All span methods must be nil-safe.
+	s.AddBusy(1)
+	s.AddStall(1)
+	s.AddWait(1)
+	if s.BusyCycles() != 0 || s.StallCycles() != 0 || s.WaitCycles() != 0 {
+		t.Fatal("nil span must record nothing")
+	}
+	if s.Class() != "" || s.Name() != "" || s.Width() != 0 {
+		t.Fatal("nil span must report zero identity")
+	}
+}
+
+func TestAccountantPolledSpans(t *testing.T) {
+	reg := NewRegistry()
+	a := newAccountant(reg)
+	var busy, stall, wait int64
+	a.Track(Meter{
+		Class: ClassDIMM, Name: "s0.d0", Width: 64,
+		Busy:  func() int64 { return busy },
+		Stall: func() int64 { return stall },
+		Wait:  func() int64 { return wait },
+	})
+	busy, stall, wait = 100, 20, 7
+	reg.Snapshot(50)
+	got := reg.Snapshots()[0].Values
+	for _, c := range []struct {
+		name string
+		want float64
+	}{
+		{"util.dimm.s0.d0.width", 64},
+		{"util.dimm.s0.d0.busy_cycles", 100},
+		{"util.dimm.s0.d0.stall_cycles", 20},
+		{"util.dimm.s0.d0.wait_cycles", 7},
+	} {
+		if got[c.name] != c.want {
+			t.Errorf("%s = %g, want %g", c.name, got[c.name], c.want)
+		}
+	}
+}
+
+func TestAccountantOmitsUnsourcedGauges(t *testing.T) {
+	reg := NewRegistry()
+	a := newAccountant(reg)
+	// Busy only: no stall/wait source, so those gauges must not exist.
+	a.Track(Meter{Class: ClassLink, Name: "host-s0.up", Width: 1,
+		Busy: func() int64 { return 5 }})
+	reg.Snapshot(1)
+	vals := reg.Snapshots()[0].Values
+	if _, ok := vals["util.link.host-s0.up.stall_cycles"]; ok {
+		t.Error("stall gauge registered without a stall source")
+	}
+	if _, ok := vals["util.link.host-s0.up.wait_cycles"]; ok {
+		t.Error("wait gauge registered without a wait source")
+	}
+	if vals["util.link.host-s0.up.busy_cycles"] != 5 {
+		t.Error("busy gauge missing")
+	}
+}
+
+func TestAccountantDirectDrive(t *testing.T) {
+	reg := NewRegistry()
+	a := newAccountant(reg)
+	s := a.TrackDirect(ClassPE, "node0", 128)
+	s.AddBusy(10)
+	s.AddBusy(5)
+	s.AddStall(3)
+	s.AddWait(2)
+	if s.BusyCycles() != 15 || s.StallCycles() != 3 || s.WaitCycles() != 2 {
+		t.Fatalf("direct totals = %d/%d/%d, want 15/3/2",
+			s.BusyCycles(), s.StallCycles(), s.WaitCycles())
+	}
+	reg.Snapshot(1)
+	vals := reg.Snapshots()[0].Values
+	if vals["util.pe.node0.busy_cycles"] != 15 ||
+		vals["util.pe.node0.stall_cycles"] != 3 ||
+		vals["util.pe.node0.wait_cycles"] != 2 {
+		t.Fatalf("direct-driven gauges wrong: %v", vals)
+	}
+}
+
+func TestAccountantPolledPlusDirect(t *testing.T) {
+	a := newAccountant(NewRegistry())
+	s := a.Track(Meter{Class: ClassBus, Name: "ch0.bus", Width: 1,
+		Busy: func() int64 { return 40 }})
+	s.AddBusy(2)
+	if got := s.BusyCycles(); got != 42 {
+		t.Fatalf("busy = %d, want polled+direct = 42", got)
+	}
+}
+
+func TestAccountantWidthClampAndClassNormalization(t *testing.T) {
+	a := newAccountant(NewRegistry())
+	s := a.Track(Meter{Class: "weird.class", Name: "x", Width: 0})
+	if s.Width() != 1 {
+		t.Errorf("width = %d, want clamp to 1", s.Width())
+	}
+	if s.Class() != "weird_class" {
+		t.Errorf("class = %q, want dots normalized to %q", s.Class(), "weird_class")
+	}
+}
+
+func TestAccountantSpansSorted(t *testing.T) {
+	a := newAccountant(NewRegistry())
+	a.Track(Meter{Class: ClassPE, Name: "b", Width: 1})
+	a.Track(Meter{Class: ClassDIMM, Name: "z", Width: 1})
+	a.Track(Meter{Class: ClassPE, Name: "a", Width: 1})
+	spans := a.Spans()
+	var got []string
+	for _, s := range spans {
+		got = append(got, s.Class()+"/"+s.Name())
+	}
+	want := []string{"dimm/z", "pe/a", "pe/b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("spans order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestObsAccountantLazyCreation(t *testing.T) {
+	// Literal-constructed Obs (no New): Accountant() must lazily create.
+	o := &Obs{Metrics: NewRegistry()}
+	a := o.Accountant()
+	if a == nil {
+		t.Fatal("Accountant() must create on first use")
+	}
+	if o.Accountant() != a {
+		t.Fatal("Accountant() must be stable")
+	}
+	var nilObs *Obs
+	if nilObs.Accountant() != nil {
+		t.Fatal("nil Obs must yield nil accountant")
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"path"
+	"sort"
+)
+
+// ReadMetricsJSON loads a metrics artifact written by WriteMetricsJSON.
+func ReadMetricsJSON(r io.Reader) (*MetricsDump, error) {
+	var d MetricsDump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: metrics artifact: %w", err)
+	}
+	return &d, nil
+}
+
+// MetricTolerance pairs a metric-name glob (path.Match syntax; metric
+// names contain no '/', so '*' spans segments) with a relative tolerance.
+type MetricTolerance struct {
+	Pattern   string
+	Tolerance float64
+}
+
+// DiffOptions controls DiffMetrics.
+type DiffOptions struct {
+	// Tolerance is the default relative tolerance: values a, b are equal
+	// when |a-b| <= Tolerance*max(|a|,|b|). Zero means exact.
+	Tolerance float64
+	// PerMetric overrides the default per metric name; the first matching
+	// pattern wins.
+	PerMetric []MetricTolerance
+}
+
+// tolFor resolves the tolerance for one metric name.
+func (o DiffOptions) tolFor(metric string) float64 {
+	for _, mt := range o.PerMetric {
+		if ok, err := path.Match(mt.Pattern, metric); err == nil && ok {
+			return mt.Tolerance
+		}
+	}
+	return o.Tolerance
+}
+
+// MetricDiff is one difference between two artifacts.
+type MetricDiff struct {
+	// Job is the job label (empty for artifact-level differences).
+	Job string
+	// Metric is the differing metric ("" for whole-job differences).
+	Metric string
+	// A and B are the two values (NaN when absent on one side).
+	A, B float64
+	// Rel is the relative difference |a-b|/max(|a|,|b|).
+	Rel float64
+	// Kind classifies the difference: "value", "missing_in_a",
+	// "missing_in_b", "job_missing_in_a", "job_missing_in_b".
+	Kind string
+}
+
+// String renders the difference for the CLI.
+func (d MetricDiff) String() string {
+	switch d.Kind {
+	case "job_missing_in_a", "job_missing_in_b":
+		return fmt.Sprintf("%s: %s", d.Job, d.Kind)
+	case "missing_in_a":
+		return fmt.Sprintf("%s: %s: only in b (%g)", d.Job, d.Metric, d.B)
+	case "missing_in_b":
+		return fmt.Sprintf("%s: %s: only in a (%g)", d.Job, d.Metric, d.A)
+	}
+	return fmt.Sprintf("%s: %s: %g -> %g (%.3g%% rel)", d.Job, d.Metric, d.A, d.B, 100*d.Rel)
+}
+
+// relDiff returns |a-b| / max(|a|,|b|); equal values (including both
+// zero, both NaN, or equal infinities) yield 0.
+func relDiff(a, b float64) float64 {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// DiffMetrics compares two artifacts: job sets by label, each shared
+// job's final-snapshot values, and its histograms (count, sum and
+// per-bucket counts, compared under the same tolerances as values, named
+// "<hist>.count" / "<hist>.sum" / "<hist>.bucket<i>"). The result lists
+// every difference exceeding its tolerance, ordered by (job, metric);
+// empty means the artifacts agree. Duplicate labels pair up by arrival
+// order.
+func DiffMetrics(a, b *MetricsDump, opt DiffOptions) []MetricDiff {
+	var out []MetricDiff
+	type jobKey struct {
+		label string
+		n     int // occurrence index for duplicate labels
+	}
+	index := func(d *MetricsDump) map[jobKey]RegistryDump {
+		m := map[jobKey]RegistryDump{}
+		seen := map[string]int{}
+		for _, j := range d.Jobs {
+			m[jobKey{j.Label, seen[j.Label]}] = j.Metrics
+			seen[j.Label]++
+		}
+		return m
+	}
+	ja, jb := index(a), index(b)
+	keys := make([]jobKey, 0, len(ja))
+	for k := range ja {
+		keys = append(keys, k)
+	}
+	for k := range jb {
+		if _, ok := ja[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].label != keys[j].label {
+			return keys[i].label < keys[j].label
+		}
+		return keys[i].n < keys[j].n
+	})
+
+	for _, k := range keys {
+		da, inA := ja[k]
+		db, inB := jb[k]
+		switch {
+		case !inA:
+			out = append(out, MetricDiff{Job: k.label, Kind: "job_missing_in_a"})
+			continue
+		case !inB:
+			out = append(out, MetricDiff{Job: k.label, Kind: "job_missing_in_b"})
+			continue
+		}
+		out = append(out, diffValues(k.label, flatten(da), flatten(db), opt)...)
+	}
+	return out
+}
+
+// flatten merges a dump's final snapshot with its histogram scalars into
+// one comparable value map.
+func flatten(d RegistryDump) map[string]float64 {
+	out := map[string]float64{}
+	for name, v := range d.Final().Values {
+		out[name] = v
+	}
+	for name, h := range d.Histograms {
+		out[name+".count"] = float64(h.Count)
+		out[name+".sum"] = h.Sum
+		for i, c := range h.Counts {
+			out[fmt.Sprintf("%s.bucket%d", name, i)] = float64(c)
+		}
+	}
+	return out
+}
+
+// diffValues compares two value maps under the options' tolerances.
+func diffValues(job string, va, vb map[string]float64, opt DiffOptions) []MetricDiff {
+	var out []MetricDiff
+	names := make([]string, 0, len(va))
+	for n := range va {
+		names = append(names, n)
+	}
+	for n := range vb {
+		if _, ok := va[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a, inA := va[n]
+		b, inB := vb[n]
+		switch {
+		case !inA:
+			out = append(out, MetricDiff{Job: job, Metric: n, A: math.NaN(), B: b, Kind: "missing_in_a"})
+		case !inB:
+			out = append(out, MetricDiff{Job: job, Metric: n, A: a, B: math.NaN(), Kind: "missing_in_b"})
+		default:
+			if rel := relDiff(a, b); rel > opt.tolFor(n) {
+				out = append(out, MetricDiff{Job: job, Metric: n, A: a, B: b, Rel: rel, Kind: "value"})
+			}
+		}
+	}
+	return out
+}

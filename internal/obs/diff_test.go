@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// dump builds a single-job artifact from final values and histograms.
+func dump(label string, values map[string]float64, hists map[string]HistogramDump) *MetricsDump {
+	return &MetricsDump{Jobs: []JobMetrics{{
+		Label: label,
+		Metrics: RegistryDump{
+			Snapshots:  []Snapshot{{Cycle: 100, Values: values}},
+			Histograms: hists,
+		},
+	}}}
+}
+
+func TestDiffMetricsIdenticalIsEmpty(t *testing.T) {
+	a := dump("j", map[string]float64{"x": 1, "y": 2.5}, map[string]HistogramDump{
+		"h": {Bounds: []float64{10}, Counts: []uint64{3, 1}, Count: 4, Sum: 22},
+	})
+	b := dump("j", map[string]float64{"x": 1, "y": 2.5}, map[string]HistogramDump{
+		"h": {Bounds: []float64{10}, Counts: []uint64{3, 1}, Count: 4, Sum: 22},
+	})
+	if diffs := DiffMetrics(a, b, DiffOptions{}); len(diffs) != 0 {
+		t.Fatalf("identical artifacts differ: %v", diffs)
+	}
+}
+
+func TestDiffMetricsValueAndTolerance(t *testing.T) {
+	a := dump("j", map[string]float64{"x": 100, "y": 100}, nil)
+	b := dump("j", map[string]float64{"x": 101, "y": 100}, nil)
+	// Exact comparison flags x.
+	diffs := DiffMetrics(a, b, DiffOptions{})
+	if len(diffs) != 1 || diffs[0].Metric != "x" || diffs[0].Kind != "value" {
+		t.Fatalf("diffs = %v, want one value diff on x", diffs)
+	}
+	if got := diffs[0].Rel; got != 1.0/101 {
+		t.Fatalf("rel = %g, want 1/101", got)
+	}
+	// 2% default tolerance absorbs it.
+	if diffs := DiffMetrics(a, b, DiffOptions{Tolerance: 0.02}); len(diffs) != 0 {
+		t.Fatalf("tolerance 0.02 should absorb 1%% drift: %v", diffs)
+	}
+}
+
+func TestDiffMetricsPerMetricFirstMatchWins(t *testing.T) {
+	a := dump("j", map[string]float64{"dram.reads": 100, "dram.writes": 100}, nil)
+	b := dump("j", map[string]float64{"dram.reads": 105, "dram.writes": 105}, nil)
+	opt := DiffOptions{PerMetric: []MetricTolerance{
+		{Pattern: "dram.reads", Tolerance: 0.10}, // first match wins...
+		{Pattern: "dram.*", Tolerance: 0},        // ...over the broader glob
+	}}
+	diffs := DiffMetrics(a, b, opt)
+	if len(diffs) != 1 || diffs[0].Metric != "dram.writes" {
+		t.Fatalf("diffs = %v, want only dram.writes", diffs)
+	}
+}
+
+func TestDiffMetricsMissingKinds(t *testing.T) {
+	a := dump("j", map[string]float64{"x": 1, "onlyA": 9}, nil)
+	b := dump("j", map[string]float64{"x": 1, "onlyB": 8}, nil)
+	diffs := DiffMetrics(a, b, DiffOptions{})
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v, want 2", diffs)
+	}
+	// Sorted by metric name: onlyA before onlyB.
+	if diffs[0].Metric != "onlyA" || diffs[0].Kind != "missing_in_b" || !math.IsNaN(diffs[0].B) {
+		t.Fatalf("diff 0 = %+v", diffs[0])
+	}
+	if diffs[1].Metric != "onlyB" || diffs[1].Kind != "missing_in_a" || !math.IsNaN(diffs[1].A) {
+		t.Fatalf("diff 1 = %+v", diffs[1])
+	}
+	if !strings.Contains(diffs[0].String(), "only in a") ||
+		!strings.Contains(diffs[1].String(), "only in b") {
+		t.Fatalf("renderings: %q / %q", diffs[0], diffs[1])
+	}
+}
+
+func TestDiffMetricsJobMissing(t *testing.T) {
+	a := &MetricsDump{Jobs: []JobMetrics{
+		{Label: "both"}, {Label: "onlyA"},
+	}}
+	b := &MetricsDump{Jobs: []JobMetrics{
+		{Label: "both"}, {Label: "onlyB"},
+	}}
+	diffs := DiffMetrics(a, b, DiffOptions{})
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v, want 2", diffs)
+	}
+	if diffs[0].Job != "onlyA" || diffs[0].Kind != "job_missing_in_b" {
+		t.Fatalf("diff 0 = %+v", diffs[0])
+	}
+	if diffs[1].Job != "onlyB" || diffs[1].Kind != "job_missing_in_a" {
+		t.Fatalf("diff 1 = %+v", diffs[1])
+	}
+}
+
+func TestDiffMetricsDuplicateLabelsPairByOccurrence(t *testing.T) {
+	mk := func(v1, v2 float64) *MetricsDump {
+		return &MetricsDump{Jobs: []JobMetrics{
+			{Label: "dup", Metrics: RegistryDump{Snapshots: []Snapshot{{Values: map[string]float64{"x": v1}}}}},
+			{Label: "dup", Metrics: RegistryDump{Snapshots: []Snapshot{{Values: map[string]float64{"x": v2}}}}},
+		}}
+	}
+	// Same per-occurrence values → agree even though labels collide.
+	if diffs := DiffMetrics(mk(1, 2), mk(1, 2), DiffOptions{}); len(diffs) != 0 {
+		t.Fatalf("occurrence-paired duplicates should agree: %v", diffs)
+	}
+	// Swapped occurrences → both differ.
+	if diffs := DiffMetrics(mk(1, 2), mk(2, 1), DiffOptions{}); len(diffs) != 2 {
+		t.Fatalf("swapped duplicates: %v, want 2 diffs", diffs)
+	}
+}
+
+func TestDiffMetricsHistogramFlattening(t *testing.T) {
+	a := dump("j", nil, map[string]HistogramDump{
+		"lat": {Bounds: []float64{10}, Counts: []uint64{3, 1}, Count: 4, Sum: 22},
+	})
+	b := dump("j", nil, map[string]HistogramDump{
+		"lat": {Bounds: []float64{10}, Counts: []uint64{2, 2}, Count: 4, Sum: 25},
+	})
+	diffs := DiffMetrics(a, b, DiffOptions{})
+	var names []string
+	for _, d := range diffs {
+		names = append(names, d.Metric)
+	}
+	want := []string{"lat.bucket0", "lat.bucket1", "lat.sum"}
+	if len(names) != len(want) {
+		t.Fatalf("diff metrics = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("diff metrics = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRelDiffEdgeCases(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{5, 5, 0},
+		{-3, -3, 0},
+		{0, 10, 1},
+		{10, 0, 1},
+		{100, 101, 1.0 / 101},
+		{-100, 100, 2}, // |a-b|=200 over max(|a|,|b|)=100
+		{math.Inf(1), math.Inf(1), 0},
+	}
+	for _, c := range cases {
+		if got := relDiff(c.a, c.b); got != c.want {
+			t.Errorf("relDiff(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+	if got := relDiff(math.NaN(), math.NaN()); got != 0 {
+		t.Errorf("relDiff(NaN,NaN) = %g, want 0", got)
+	}
+	if got := relDiff(math.NaN(), 1); got == 0 {
+		t.Error("relDiff(NaN,1) must not compare equal")
+	}
+}
+
+func TestReadMetricsJSONRoundTrip(t *testing.T) {
+	col := buildCollection()
+	var b strings.Builder
+	if err := col.WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadMetricsJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Jobs) != 2 || d.Jobs[0].Label != "fm-seeding/Pt/beacon-d" {
+		t.Fatalf("jobs = %+v", d.Jobs)
+	}
+	orig := col.Dump()
+	if diffs := DiffMetrics(&orig, d, DiffOptions{}); len(diffs) != 0 {
+		t.Fatalf("round-trip artifact differs: %v", diffs)
+	}
+	if _, err := ReadMetricsJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+}

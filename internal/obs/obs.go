@@ -21,6 +21,10 @@ type Obs struct {
 	Metrics *Registry
 	// Trace is the simulation's timeline tracer.
 	Trace *Tracer
+	// Acct is the cycle accountant: per-resource busy/stall/wait spans
+	// mirrored into Metrics as util.* gauges. Lazily created by
+	// Accountant() when unset, so literal-constructed Obs values work too.
+	Acct *Accountant
 	// SampleEvery is the snapshot interval in simulated cycles; 0 records
 	// only the final snapshot (taken by the machine at end of run).
 	SampleEvery int64
@@ -30,7 +34,9 @@ type Obs struct {
 
 // New returns an enabled Obs with a fresh registry and tracer.
 func New(label string) *Obs {
-	return &Obs{Label: label, Metrics: NewRegistry(), Trace: NewTracer()}
+	o := &Obs{Label: label, Metrics: NewRegistry(), Trace: NewTracer()}
+	o.Acct = newAccountant(o.Metrics)
+	return o
 }
 
 // Registry returns the metrics registry (nil when disabled).
@@ -47,6 +53,19 @@ func (o *Obs) Tracer() *Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// Accountant returns the cycle accountant (nil when disabled), creating
+// it on first use for Obs values built as literals. Components register
+// their spans on it from their single-goroutine construction path.
+func (o *Obs) Accountant() *Accountant {
+	if o == nil {
+		return nil
+	}
+	if o.Acct == nil {
+		o.Acct = newAccountant(o.Metrics)
+	}
+	return o.Acct
 }
 
 // MaybeSample snapshots the registry when the clock has crossed the next
@@ -104,6 +123,7 @@ func (c *Collection) New(label string) *Obs {
 		Trace:       NewTracerCap(c.TraceCap),
 		SampleEvery: c.SampleEvery,
 	}
+	o.Acct = newAccountant(o.Metrics)
 	// Truncation must never be silent: the cap's overflow count rides
 	// along in the job's own metrics.
 	o.Metrics.Gauge("obs.trace_dropped", func() float64 { return float64(o.Trace.Dropped()) })
@@ -133,25 +153,33 @@ func (c *Collection) sorted() []*Obs {
 	return jobs
 }
 
-// jobMetrics pairs a label with its registry dump for serialization.
-type jobMetrics struct {
+// JobMetrics pairs a job label with its registry dump — one element of
+// the metrics artifact WriteMetricsJSON produces.
+type JobMetrics struct {
 	Label   string       `json:"label"`
-	Metrics registryDump `json:"metrics"`
+	Metrics RegistryDump `json:"metrics"`
 }
 
-type collectionDump struct {
-	Jobs []jobMetrics `json:"jobs"`
+// MetricsDump is the whole metrics artifact: every job's dump, ordered by
+// label. ReadMetricsJSON loads it back for offline tools (beaconprof).
+type MetricsDump struct {
+	Jobs []JobMetrics `json:"jobs"`
+}
+
+// Dump captures every job's metrics, ordered by label. Safe on nil.
+func (c *Collection) Dump() MetricsDump {
+	d := MetricsDump{Jobs: []JobMetrics{}}
+	if c != nil {
+		for _, o := range c.sorted() {
+			d.Jobs = append(d.Jobs, JobMetrics{Label: o.Label, Metrics: o.Metrics.Dump()})
+		}
+	}
+	return d
 }
 
 // WriteMetricsJSON serializes every job's metrics, ordered by label.
 func (c *Collection) WriteMetricsJSON(w io.Writer) error {
-	d := collectionDump{Jobs: []jobMetrics{}}
-	if c != nil {
-		for _, o := range c.sorted() {
-			d.Jobs = append(d.Jobs, jobMetrics{Label: o.Label, Metrics: o.Metrics.dump()})
-		}
-	}
-	return writeJSONIndent(w, d)
+	return writeJSONIndent(w, c.Dump())
 }
 
 // WriteMetricsCSV serializes every job's snapshot series as

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadBuildInfoNeverFails(t *testing.T) {
+	b := ReadBuildInfo()
+	// Under `go test` the module system is always present.
+	if b.Module == "" || b.GoVersion == "" {
+		t.Fatalf("build info incomplete: %+v", b)
+	}
+	// Test binaries carry no VCS stamp; the banner must still render.
+	if b.String() == "" {
+		t.Fatal("banner must never be empty")
+	}
+}
+
+// TestBuildInfoStringFormats pins the banner's rendering rules on literal
+// structs (the ReadBuildInfo-based test can't control the fields).
+func TestBuildInfoStringFormats(t *testing.T) {
+	b := BuildInfo{
+		Module:    "beacon",
+		Version:   "v1.2.3",
+		GoVersion: "go1.22",
+		Revision:  "0123456789abcdef0123",
+	}
+	if got := b.String(); got != "beacon v1.2.3 (rev 0123456789ab, go1.22)" {
+		t.Fatalf("String() = %q", got)
+	}
+	b.Dirty = true
+	if !strings.Contains(b.String(), "0123456789ab-dirty") {
+		t.Fatalf("dirty marker missing: %q", b.String())
+	}
+	// Zero fields fall back rather than rendering empty.
+	var zero BuildInfo
+	if got := zero.String(); !strings.Contains(got, "beacon (devel) (rev unknown") {
+		t.Fatalf("zero String() = %q", got)
+	}
+	// Short revisions pass through untruncated.
+	short := BuildInfo{Revision: "abc123"}
+	if !strings.Contains(short.String(), "rev abc123") {
+		t.Fatalf("short rev: %q", short.String())
+	}
+}
+
+// TestTracerSpans covers Spans(): duration events only, track-name
+// resolution, and interplay with the event cap.
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	core := tr.Track("core")
+	ndp := tr.Track("ndp")
+	tr.Span(core, "phase.build", 0, 100)
+	tr.Instant(core, "marker", 50)
+	tr.Value(ndp, "backlog", 60, 12)
+	tr.Span(ndp, "phase.seed", 100, 400)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (instants and values skipped)", len(spans))
+	}
+	if spans[0] != (SpanEvent{Track: "core", Name: "phase.build", Start: 0, End: 100}) {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1] != (SpanEvent{Track: "ndp", Name: "phase.seed", Start: 100, End: 400}) {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+
+	// Under a cap, Spans reflects only the retained prefix.
+	capped := NewTracerCap(2)
+	tk := capped.Track("t")
+	capped.Span(tk, "a", 0, 1)
+	capped.Span(tk, "b", 1, 2)
+	capped.Span(tk, "c", 2, 3) // dropped
+	if got := capped.Spans(); len(got) != 2 || got[1].Name != "b" {
+		t.Fatalf("capped spans = %+v", got)
+	}
+	if capped.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", capped.Dropped())
+	}
+
+	var nilTr *Tracer
+	if nilTr.Spans() != nil {
+		t.Fatal("nil tracer must return nil spans")
+	}
+}

@@ -241,22 +241,35 @@ func (r *Registry) Snapshots() []Snapshot {
 	return append([]Snapshot(nil), r.series...)
 }
 
-// histDump is the serialized form of one histogram.
-type histDump struct {
+// HistogramDump is the serialized form of one histogram — the shape
+// WriteMetricsJSON produces and ReadMetricsJSON consumes.
+type HistogramDump struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
 }
 
-// dump captures the registry's full serializable state.
-type registryDump struct {
-	Snapshots  []Snapshot          `json:"snapshots"`
-	Histograms map[string]histDump `json:"histograms,omitempty"`
+// RegistryDump captures one registry's full serializable state: the
+// snapshot time series plus final histogram contents.
+type RegistryDump struct {
+	Snapshots  []Snapshot               `json:"snapshots"`
+	Histograms map[string]HistogramDump `json:"histograms,omitempty"`
 }
 
-func (r *Registry) dump() registryDump {
-	d := registryDump{Snapshots: r.Snapshots()}
+// Final returns the last snapshot (the end-of-run values), or a zero
+// snapshot when the series is empty.
+func (d RegistryDump) Final() Snapshot {
+	if len(d.Snapshots) == 0 {
+		return Snapshot{}
+	}
+	return d.Snapshots[len(d.Snapshots)-1]
+}
+
+// Dump captures the registry's serializable state. Safe on nil (empty
+// dump).
+func (r *Registry) Dump() RegistryDump {
+	d := RegistryDump{Snapshots: r.Snapshots()}
 	if d.Snapshots == nil {
 		d.Snapshots = []Snapshot{}
 	}
@@ -266,9 +279,9 @@ func (r *Registry) dump() registryDump {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.hists) > 0 {
-		d.Histograms = make(map[string]histDump, len(r.hists))
+		d.Histograms = make(map[string]HistogramDump, len(r.hists))
 		for name, h := range r.hists {
-			d.Histograms[name] = histDump{
+			d.Histograms[name] = HistogramDump{
 				Bounds: h.Bounds(), Counts: h.Counts(), Count: h.Count(), Sum: h.Sum(),
 			}
 		}
@@ -276,12 +289,28 @@ func (r *Registry) dump() registryDump {
 	return d
 }
 
+// counterNames returns the registered counter names, sorted — used by the
+// OpenMetrics writer to type families (counters vs gauges).
+func (r *Registry) counterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ctrs))
+	for n := range r.ctrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // WriteJSON serializes the snapshot series and histograms. Output bytes are
 // deterministic for identical registries (encoding/json sorts map keys).
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(r.dump())
+	return enc.Encode(r.Dump())
 }
 
 // WriteCSV serializes the snapshot series as cycle,name,value rows, sorted

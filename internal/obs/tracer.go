@@ -128,6 +128,40 @@ func (t *Tracer) Events() int {
 	return len(t.events)
 }
 
+// SpanEvent is one recorded activity interval, as returned by Spans.
+type SpanEvent struct {
+	// Track is the track name the span was recorded on.
+	Track string
+	// Name is the span name.
+	Name string
+	// Start and End bound the interval in simulated cycles.
+	Start, End int64
+}
+
+// Spans returns the recorded duration events in record order — the raw
+// material for phase-level attribution (see Profile.Between) and for
+// tests asserting on cap/truncation behaviour. Instant and counter
+// events are skipped.
+func (t *Tracer) Spans() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanEvent
+	for _, ev := range t.events {
+		if ev.ph != phComplete {
+			continue
+		}
+		name := ""
+		if int(ev.track) < len(t.tracks) {
+			name = t.tracks[ev.track]
+		}
+		out = append(out, SpanEvent{Track: name, Name: ev.name, Start: ev.start, End: ev.start + ev.dur})
+	}
+	return out
+}
+
 // Dropped returns how many events the cap discarded.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {

@@ -22,6 +22,10 @@ type Resource struct {
 	// busy accumulates total granted cycles across servers, for utilization
 	// reporting.
 	busy Cycles
+	// waited accumulates total queueing delay (grant start minus request
+	// time) across all grants — the aggregate time requests spent blocked
+	// behind this resource, for bottleneck attribution.
+	waited Cycles
 	// grants counts Acquire calls.
 	grants uint64
 	// tr, when non-nil, records every grant as a span on trTrack; disabled
@@ -76,6 +80,7 @@ func (r *Resource) Acquire(now Cycle, d Cycles) (start, end Cycle) {
 	end = start + d
 	r.nextFree[best] = end
 	r.busy += d
+	r.waited += Cycles(start - now)
 	r.grants++
 	if DebugTrackWaits {
 		debugRecord(r.name, start-now, d)
@@ -100,6 +105,12 @@ func (r *Resource) AvailableAt() Cycle {
 // BusyCycles returns the total cycles granted across all servers.
 func (r *Resource) BusyCycles() Cycles { return r.busy }
 
+// WaitCycles returns the total queueing delay suffered by all grants — how
+// long requests sat blocked behind the resource's calendars. Unlike busy
+// cycles it is not bounded by width*horizon: many concurrent waiters
+// accumulate wait in parallel.
+func (r *Resource) WaitCycles() Cycles { return r.waited }
+
 // Grants returns the number of Acquire calls served.
 func (r *Resource) Grants() uint64 { return r.grants }
 
@@ -118,6 +129,7 @@ func (r *Resource) Reset() {
 		r.nextFree[i] = 0
 	}
 	r.busy = 0
+	r.waited = 0
 	r.grants = 0
 }
 
@@ -201,6 +213,12 @@ func (p *Pipe) BytesMoved() uint64 { return p.bytesMoved }
 
 // BusyCycles returns total occupancy cycles.
 func (p *Pipe) BusyCycles() Cycles { return p.res.BusyCycles() }
+
+// WaitCycles returns the total queueing delay behind the pipe's lanes.
+func (p *Pipe) WaitCycles() Cycles { return p.res.WaitCycles() }
+
+// Width returns the number of parallel lanes.
+func (p *Pipe) Width() int { return p.res.Width() }
 
 // Utilization reports occupancy over the horizon.
 func (p *Pipe) Utilization(horizon Cycle) float64 { return p.res.Utilization(horizon) }

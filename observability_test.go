@@ -46,11 +46,24 @@ func TestObservabilityDeterminism(t *testing.T) {
 		}
 		if kind != CPU {
 			// Timed platforms must actually have recorded something.
-			if len(ob.Metrics.Snapshots()) == 0 {
+			snaps := ob.Metrics.Snapshots()
+			if len(snaps) == 0 {
 				t.Errorf("%v: no metric snapshots recorded", kind)
 			}
 			if ob.Trace.Events() == 0 {
 				t.Errorf("%v: no trace events recorded", kind)
+			}
+			// The utilization accountant must cover every timed platform:
+			// without util.* series there is nothing to attribute.
+			hasUtil := false
+			for name := range snaps[len(snaps)-1].Values {
+				if strings.HasPrefix(name, "util.") {
+					hasUtil = true
+					break
+				}
+			}
+			if !hasUtil {
+				t.Errorf("%v: no util.* metrics in snapshots", kind)
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"beacon/tools/beaconlint/analyzers/floatacc"
 	"beacon/tools/beaconlint/analyzers/goroutinescope"
 	"beacon/tools/beaconlint/analyzers/maporder"
+	"beacon/tools/beaconlint/analyzers/metricname"
 	"beacon/tools/beaconlint/analyzers/nodeterminism"
 )
 
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 		floatacc.Analyzer,
 		goroutinescope.Analyzer,
 		maporder.Analyzer,
+		metricname.Analyzer,
 		nodeterminism.Analyzer,
 	}
 }

@@ -1,0 +1,121 @@
+// Package metricname enforces the metric-name charset at registration
+// sites.
+//
+// Metric names registered on obs.Registry (Counter, Gauge, Histogram)
+// become OpenMetrics families: the exposition writer sanitizes every
+// byte outside [a-zA-Z0-9_:] to '_', so a name with spaces, uppercase or
+// stray punctuation silently collides with its sanitized siblings and
+// diverges between the JSON and OpenMetrics artifacts. The repository's
+// convention is lowercase dotted names ([a-z0-9._]), with dynamic
+// component names (which may contain hyphens) spliced in at runtime.
+//
+// The analyzer checks every compile-time-known part of the name
+// argument: string literals and named constants must match [a-z0-9._],
+// concatenation chains are checked piecewise, and fmt.Sprintf format
+// strings are checked verb-aware (the literal text must obey the charset;
+// only the value verbs %s %d %v %x %b %o %f %g %e survive sanitization
+// losslessly). Purely dynamic parts — a component's Name() method, a
+// prefix variable — pass: their content is the component's identity,
+// sanitized at exposition time.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"beacon/tools/beaconlint/analysis"
+)
+
+// Analyzer is the metricname analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "require [a-z0-9._] metric names at obs.Registry registration sites",
+	Run:  run,
+}
+
+const obsPkg = "beacon/internal/obs"
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if analysis.IsMethod(fn, obsPkg, "Registry", "Counter") ||
+				analysis.IsMethod(fn, obsPkg, "Registry", "Gauge") ||
+				analysis.IsMethod(fn, obsPkg, "Registry", "Histogram") {
+				checkNameExpr(pass, call.Args[0])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNameExpr validates the compile-time-known parts of a metric-name
+// expression.
+func checkNameExpr(pass *analysis.Pass, e ast.Expr) {
+	e = ast.Unparen(e)
+	info := pass.TypesInfo
+	// A fully constant expression (literal, named constant, constant
+	// concatenation) is checked as one value.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		checkText(pass, e.Pos(), constant.StringVal(tv.Value), false)
+		return
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			checkNameExpr(pass, e.X)
+			checkNameExpr(pass, e.Y)
+		}
+	case *ast.CallExpr:
+		// fmt.Sprintf: the format string is the compile-time part.
+		if analysis.IsPkgFunc(analysis.CalleeFunc(info, e), "fmt", "Sprintf") && len(e.Args) >= 1 {
+			if tv, ok := info.Types[ast.Unparen(e.Args[0])]; ok && tv.Value != nil &&
+				tv.Value.Kind() == constant.String {
+				checkText(pass, e.Args[0].Pos(), constant.StringVal(tv.Value), true)
+			}
+		}
+		// Other calls (component Name() methods) are dynamic: allowed.
+	}
+	// Idents, selectors, index expressions: dynamic parts, allowed.
+}
+
+// checkText validates one compile-time string fragment. With verbs set
+// (fmt.Sprintf format strings), % starts a verb: flags/width are skipped
+// and the verb letter must be a value verb whose output survives
+// OpenMetrics sanitization (no %q quoting, no %% literal percent).
+func checkText(pass *analysis.Pass, pos token.Pos, s string, verbs bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if verbs && c == '%' {
+			j := i + 1
+			for j < len(s) && (s[j] == '+' || s[j] == '-' || s[j] == '#' || s[j] == ' ' ||
+				s[j] == '0' || (s[j] >= '1' && s[j] <= '9') || s[j] == '.' || s[j] == '*') {
+				j++
+			}
+			if j >= len(s) {
+				pass.Reportf(pos, "metric name format %q: dangling %% at end", s)
+				return
+			}
+			switch s[j] {
+			case 's', 'd', 'v', 'x', 'X', 'b', 'o', 'f', 'g', 'e', 'c':
+				i = j
+				continue
+			default:
+				pass.Reportf(pos, "metric name format %q: verb %%%c does not survive OpenMetrics sanitization (use a value verb like %%s or %%d)", s, s[j])
+				return
+			}
+		}
+		if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' || c == '_' {
+			continue
+		}
+		pass.Reportf(pos, "metric name %q: character %q outside [a-z0-9._]; it would be rewritten to '_' by the OpenMetrics writer and can collide with other metrics", s, rune(c))
+		return
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"beacon/tools/beaconlint/analyzers/floatacc"
 	"beacon/tools/beaconlint/analyzers/goroutinescope"
 	"beacon/tools/beaconlint/analyzers/maporder"
+	"beacon/tools/beaconlint/analyzers/metricname"
 	"beacon/tools/beaconlint/analyzers/nodeterminism"
 )
 
@@ -38,6 +39,8 @@ func TestAnalyzers(t *testing.T) {
 		{"cycleclock", "beacon/fixtures/cclock", []*analysis.Analyzer{cycleclock.Analyzer}, false},
 		// Float accumulation under map iteration or from goroutines.
 		{"floatacc", "beacon/fixtures/facc", []*analysis.Analyzer{floatacc.Analyzer}, false},
+		// Metric-name charset at obs.Registry registration sites.
+		{"metricname", "beacon/fixtures/mname", []*analysis.Analyzer{metricname.Analyzer}, false},
 		// //beaconlint:allow: reasoned directives suppress; reasonless,
 		// stale, unknown-analyzer, and empty directives are diagnostics.
 		{"directives", "beacon/fixtures/direct", analyzers.All(), true},

@@ -14,9 +14,11 @@
 // nodeterminism (no wall clock / ambient entropy in simulator code),
 // maporder (no order-dependent effects under map iteration),
 // goroutinescope (all parallelism behind internal/runner's pool),
-// cycleclock (no negative delays, no dropped Engine.Run errors), and
-// floatacc (no order-nondeterministic float accumulation). Suppressions
-// use //beaconlint:allow <analyzer> <reason>; see package directive.
+// cycleclock (no negative delays, no dropped Engine.Run errors),
+// floatacc (no order-nondeterministic float accumulation), and
+// metricname (constant, OpenMetrics-safe names at obs.Registry
+// registration sites). Suppressions use
+// //beaconlint:allow <analyzer> <reason>; see package directive.
 package main
 
 import (

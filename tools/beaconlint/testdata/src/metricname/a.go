@@ -1,0 +1,46 @@
+// Package mname exercises the metricname analyzer: compile-time parts of
+// metric names registered on obs.Registry must match [a-z0-9._]; dynamic
+// parts (component names) are allowed, as are value verbs in Sprintf
+// format strings.
+package mname
+
+import (
+	"fmt"
+
+	"beacon/internal/obs"
+)
+
+const goodName = "core.tasks_completed"
+const badName = "core.Tasks"
+
+func registrations(reg *obs.Registry, name string) {
+	// Plain literals and named constants in the convention charset.
+	reg.Counter("dram.reads")
+	reg.Counter(goodName)
+	reg.Gauge("engine.pending_events", func() float64 { return 0 })
+	reg.Histogram("core.step_latency_cycles", nil)
+
+	// Dynamic component names spliced between clean literals.
+	reg.Gauge("cxl."+name+".bytes_moved", func() float64 { return 0 })
+	prefix := "ndp." + name + "."
+	reg.Gauge(prefix+"backlog", func() float64 { return 0 })
+
+	// Sprintf with value verbs: literal text checked, verbs pass.
+	reg.Gauge(fmt.Sprintf("dram.s%d.d%d.reads", 0, 1), func() float64 { return 0 })
+	reg.Counter(fmt.Sprintf("fault.%s.injected", name))
+
+	// Uppercase in a literal or constant.
+	reg.Counter("core.Tasks") // want `metric name "core.Tasks": character 'T' outside`
+	reg.Counter(badName)      // want `metric name "core.Tasks": character 'T' outside`
+
+	// Hyphens and spaces belong to dynamic component names only.
+	reg.Gauge("dram-reads", func() float64 { return 0 })                // want `character '-' outside`
+	reg.Gauge("queue depth", func() float64 { return 0 })               // want `character ' ' outside`
+	reg.Histogram("core.latency/cycles", nil)                           // want `character '/' outside`
+	reg.Gauge("link."+name+".busy-cycles", func() float64 { return 0 }) // want `character '-' outside`
+
+	// Sprintf: bad literal text and non-value verbs.
+	reg.Gauge(fmt.Sprintf("ndp %s.backlog", name), func() float64 { return 0 }) // want `character ' ' outside`
+	reg.Gauge(fmt.Sprintf("ndp.%q.backlog", name), func() float64 { return 0 }) // want `verb %q does not survive`
+	reg.Counter(fmt.Sprintf("pct.%%.used"))                                     // want `verb %% does not survive`
+}
