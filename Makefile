@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint beaconlint fmt tidy-check
+.PHONY: all build test race bench lint beaconlint fmt tidy-check calibrate
 
 all: build test
 
@@ -26,6 +26,13 @@ bench:
 # non-zero on any diagnostic; suppressions need //beaconlint:allow.
 beaconlint:
 	$(GO) run ./tools/beaconlint ./...
+
+# Timing-model calibration: replay the quick synthetic pattern suite and
+# diff against the committed golden curves (see DESIGN.md §4g). Exits 1 on
+# envelope violations or golden drift. Regenerate goldens after an
+# intentional timing change with `go test ./internal/calib -update`.
+calibrate:
+	$(GO) run ./cmd/beaconbench -calibrate
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -6,6 +6,7 @@ import (
 	"beacon/internal/core"
 	"beacon/internal/cxl"
 	"beacon/internal/memmgmt"
+	"beacon/internal/sim"
 )
 
 // The Fig. 8 memory-management flow as an end-to-end operation: the host
@@ -124,7 +125,7 @@ func SimulateWithAllocation(p Platform, w *Workload, opts AllocationOptions) (*A
 		Report:           *rep,
 		MigratedBytes:    migrated,
 		PageTableUpdates: ptes,
-		SetupSeconds:     setupCycles * 1.25e-9,
+		SetupSeconds:     setupCycles * sim.CyclePeriodSeconds,
 	}
 	for _, a := range granted {
 		out.DIMMsGranted += len(a.DIMMs)

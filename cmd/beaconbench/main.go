@@ -23,6 +23,13 @@
 // Fault injection (deterministic; same profile + seed → identical output):
 //
 //	beaconbench -quick -faults default -fault-seed 1
+//
+// Timing-model calibration (see DESIGN.md §4g):
+//
+//	beaconbench -calibrate                 # quick suite vs committed goldens (exit 1 on drift)
+//	beaconbench -calibrate -calib-full     # wide offline sweep (no golden diff)
+//	beaconbench -calibrate -calib-update   # regenerate the golden artifact
+//	beaconbench -calibrate -calib-tol 0.01 -calib-metric-tol 'gb_per_sec=0.05'
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	beacon "beacon"
@@ -45,6 +53,14 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablation sweeps")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole evaluation after this long (0 = no limit)")
+	calibrate := flag.Bool("calibrate", false, "replay the timing-calibration suite and diff against goldens instead of the evaluation")
+	calibFull := flag.Bool("calib-full", false, "with -calibrate: run the wide offline sweep (skips the golden diff)")
+	calibGolden := flag.String("calib-golden", defaultCalibGolden, "with -calibrate: golden artifact `path`")
+	calibOut := flag.String("calib-out", "", "with -calibrate: also write the curves to `file`")
+	calibUpdate := flag.Bool("calib-update", false, "with -calibrate: rewrite the golden artifact instead of diffing")
+	calibTol := flag.Float64("calib-tol", 0, "with -calibrate: default relative tolerance for the golden diff")
+	var calibPerMetric cliutil.TolFlag
+	flag.Var(&calibPerMetric, "calib-metric-tol", "with -calibrate: per-metric tolerance `pattern=tol` (repeatable; first match wins)")
 	// A full evaluation fans out hundreds of jobs; keep per-job traces
 	// small so the merged timeline stays loadable (-tracecap raises it).
 	of := cliutil.Register(2048)
@@ -55,6 +71,17 @@ func main() {
 	check(err)
 	sched, err := of.SchedulerKind()
 	check(err)
+
+	if *calibrate {
+		os.Exit(runCalibrate(os.Stdout, sched, calibFlags{
+			full:   *calibFull,
+			golden: *calibGolden,
+			out:    *calibOut,
+			update: *calibUpdate,
+			tol:    *calibTol,
+			per:    calibPerMetric.Tolerances(),
+		}))
+	}
 
 	rc := beacon.DefaultRunConfig()
 	if *quick {

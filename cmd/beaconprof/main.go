@@ -21,44 +21,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path"
-	"strconv"
 	"strings"
 
+	"beacon/internal/cliutil"
 	"beacon/internal/obs"
 	"beacon/internal/report"
 )
-
-// tolFlag collects repeatable -metric-tol pattern=tolerance values.
-type tolFlag struct {
-	tols []obs.MetricTolerance
-}
-
-func (t *tolFlag) String() string {
-	parts := make([]string, 0, len(t.tols))
-	for _, mt := range t.tols {
-		parts = append(parts, fmt.Sprintf("%s=%g", mt.Pattern, mt.Tolerance))
-	}
-	return strings.Join(parts, ",")
-}
-
-func (t *tolFlag) Set(s string) error {
-	pat, tol, ok := strings.Cut(s, "=")
-	if !ok || pat == "" {
-		return fmt.Errorf("want pattern=tolerance, got %q", s)
-	}
-	v, err := strconv.ParseFloat(tol, 64)
-	if err != nil || v < 0 {
-		return fmt.Errorf("bad tolerance in %q", s)
-	}
-	if _, err := path.Match(pat, ""); err != nil {
-		return fmt.Errorf("bad pattern %q: %v", pat, err)
-	}
-	t.tols = append(t.tols, obs.MetricTolerance{Pattern: pat, Tolerance: v})
-	return nil
-}
 
 func main() {
 	log.SetFlags(0)
@@ -74,7 +46,7 @@ func main() {
 		tol     = flag.Float64("tol", 0, "default relative tolerance for -diff (|a-b|/max(|a|,|b|))")
 		version = flag.Bool("version", false, "print build information and exit")
 	)
-	var perMetric tolFlag
+	var perMetric cliutil.TolFlag
 	flag.Var(&perMetric, "metric-tol", "per-metric tolerance `pattern=tol` for -diff (repeatable; first match wins)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -96,7 +68,7 @@ func main() {
 		if flag.NArg() != 2 {
 			usageError("-diff needs exactly two artifacts")
 		}
-		runDiff(flag.Arg(0), flag.Arg(1), obs.DiffOptions{Tolerance: *tol, PerMetric: perMetric.tols})
+		runDiff(flag.Arg(0), flag.Arg(1), obs.DiffOptions{Tolerance: *tol, PerMetric: perMetric.Tolerances()})
 	case *check:
 		if flag.NArg() != 1 {
 			usageError("-check needs exactly one exposition file")
@@ -181,16 +153,26 @@ func runReport(artifact, jobGlob string, top, windows int, classes bool) {
 // runDiff compares two artifacts and exits 1 when differences remain.
 func runDiff(pa, pb string, opt obs.DiffOptions) {
 	a, b := readArtifact(pa), readArtifact(pb)
+	if diffArtifacts(os.Stdout, pa, a, pb, b, opt) > 0 {
+		os.Exit(1)
+	}
+}
+
+// diffArtifacts renders the diff report to w and returns the difference
+// count (the exit-status decision, separated from os.Exit for testing).
+// Missing-on-one-side metrics are differences even when the present value
+// is zero — obs.DiffMetrics reports them unconditionally, with Rel=+Inf.
+func diffArtifacts(w io.Writer, pa string, a *obs.MetricsDump, pb string, b *obs.MetricsDump, opt obs.DiffOptions) int {
 	diffs := obs.DiffMetrics(a, b, opt)
 	if len(diffs) == 0 {
-		fmt.Printf("artifacts agree: %d jobs, tolerance %g\n", len(a.Jobs), opt.Tolerance)
-		return
+		fmt.Fprintf(w, "artifacts agree: %d jobs, tolerance %g\n", len(a.Jobs), opt.Tolerance)
+		return 0
 	}
 	for _, d := range diffs {
-		fmt.Println(d.String())
+		fmt.Fprintln(w, d.String())
 	}
-	fmt.Printf("%d differences (a=%s b=%s)\n", len(diffs), pa, pb)
-	os.Exit(1)
+	fmt.Fprintf(w, "%d differences (a=%s b=%s)\n", len(diffs), pa, pb)
+	return len(diffs)
 }
 
 // runCheck parse-validates an OpenMetrics exposition.

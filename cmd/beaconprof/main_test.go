@@ -1,0 +1,72 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"beacon/internal/obs"
+)
+
+// artifact builds a one-job dump with the given final values.
+func artifact(values map[string]float64) *obs.MetricsDump {
+	return &obs.MetricsDump{Jobs: []obs.JobMetrics{{
+		Label:   "job",
+		Metrics: obs.RegistryDump{Snapshots: []obs.Snapshot{{Cycle: 10, Values: values}}},
+	}}}
+}
+
+func TestDiffArtifactsAgree(t *testing.T) {
+	a := artifact(map[string]float64{"x": 1})
+	var out strings.Builder
+	n := diffArtifacts(&out, "a.json", a, "b.json", a, obs.DiffOptions{})
+	if n != 0 {
+		t.Fatalf("identical artifacts: %d diffs\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "artifacts agree") {
+		t.Errorf("agreement not reported: %q", out.String())
+	}
+}
+
+// Regression: a metric present with value zero in one artifact and absent
+// in the other must be reported as drift (and drive a nonzero diff count,
+// i.e. exit status 1) — even under a generous tolerance.
+func TestDiffArtifactsZeroVsMissing(t *testing.T) {
+	withZero := artifact(map[string]float64{"x": 1, "dram.d0.faw_stall_cycles": 0})
+	without := artifact(map[string]float64{"x": 1})
+
+	for _, dir := range []struct {
+		name string
+		a, b *obs.MetricsDump
+		want string
+	}{
+		{"present in a", withZero, without, "only in a (0)"},
+		{"present in b", without, withZero, "only in b (0)"},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			var out strings.Builder
+			n := diffArtifacts(&out, "a.json", dir.a, "b.json", dir.b, obs.DiffOptions{Tolerance: 0.5})
+			if n != 1 {
+				t.Fatalf("diff count = %d, want 1\n%s", n, out.String())
+			}
+			if !strings.Contains(out.String(), "faw_stall_cycles") || !strings.Contains(out.String(), dir.want) {
+				t.Errorf("report does not name the zero-vs-missing metric:\n%s", out.String())
+			}
+			if !strings.Contains(out.String(), "1 differences") {
+				t.Errorf("difference summary missing:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// NaN against a number is drift at the CLI level too, not a silent pass.
+func TestDiffArtifactsNaNFlagged(t *testing.T) {
+	var out strings.Builder
+	n := diffArtifacts(&out,
+		"a.json", artifact(map[string]float64{"x": 1, "rate": 2.5}),
+		"b.json", artifact(map[string]float64{"x": 1, "rate": math.NaN()}),
+		obs.DiffOptions{Tolerance: 1e9})
+	if n != 1 {
+		t.Fatalf("NaN drift count = %d, want 1\n%s", n, out.String())
+	}
+}

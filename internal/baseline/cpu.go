@@ -91,7 +91,7 @@ func RunCPU(cfg CPUConfig, wl *trace.Workload) (*CPUResult, error) {
 	seconds := totalNS / float64(cfg.Threads) / 1e9
 	return &CPUResult{
 		Seconds:  seconds,
-		Cycles:   sim.Cycle(seconds / 1.25e-9),
+		Cycles:   sim.Cycle(seconds / sim.CyclePeriodSeconds),
 		EnergyPJ: seconds * cfg.PowerWatts * 1e12,
 	}, nil
 }

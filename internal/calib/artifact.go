@@ -1,0 +1,109 @@
+package calib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ArtifactVersion is the curve artifact schema version. Decode rejects
+// other versions: goldens regenerate deliberately (-update), never by
+// silent reinterpretation.
+const ArtifactVersion = 1
+
+// CurveMetrics is one sweep point's measured behaviour. All latencies are
+// integer DRAM bus cycles; bandwidth is sustained GB/s over the replay
+// makespan. Field order is the canonical JSON order — Encode emits structs,
+// so artifacts are byte-stable.
+type CurveMetrics struct {
+	P50Cycles          int64   `json:"p50_cycles"`
+	P95Cycles          int64   `json:"p95_cycles"`
+	P99Cycles          int64   `json:"p99_cycles"`
+	MeanCycles         float64 `json:"mean_cycles"`
+	GBPerSec           float64 `json:"gb_per_sec"`
+	RowHitRate         float64 `json:"row_hit_rate"`
+	FAWStallCycles     int64   `json:"faw_stall_cycles"`
+	RefreshStallCycles int64   `json:"refresh_stall_cycles"`
+	// WireBytes is the total fabric wire traffic (0 on the raw DRAM path).
+	WireBytes uint64 `json:"wire_bytes"`
+}
+
+// Curve is one (platform, pattern, size, depth, write-mix) sweep point.
+type Curve struct {
+	Platform string       `json:"platform"`
+	Pattern  string       `json:"pattern"`
+	Size     int          `json:"size"`
+	Depth    int          `json:"depth"`
+	WritePct int          `json:"write_pct"`
+	Metrics  CurveMetrics `json:"metrics"`
+}
+
+// Key renders the curve's canonical label (also the per-job label Compare
+// diffs under).
+func (c Curve) Key() string {
+	return fmt.Sprintf("%s/%s/s%d/d%d/w%d", c.Platform, c.Pattern, c.Size, c.Depth, c.WritePct)
+}
+
+// Artifact is the versioned calibration result: the suite identity (seed,
+// requests per point) and every curve in sweep order.
+type Artifact struct {
+	Version  int     `json:"version"`
+	Seed     uint64  `json:"seed"`
+	Requests int     `json:"requests"`
+	Curves   []Curve `json:"curves"`
+}
+
+// Encode writes the artifact as indented JSON. Struct-driven encoding plus
+// deterministic curve order make the output byte-stable: two identical
+// runs produce identical files, which is what golden diffing relies on.
+func (a *Artifact) Encode(w io.Writer) error {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("calib: encode artifact: %w", err)
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// EncodeBytes returns the canonical encoding of the artifact.
+func (a *Artifact) EncodeBytes() ([]byte, error) {
+	var b bytes.Buffer
+	if err := a.Encode(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Decode reads an artifact and validates its schema: the version must be
+// current, and every curve must carry a platform, a known pattern and
+// positive sweep coordinates.
+func Decode(r io.Reader) (*Artifact, error) {
+	dec := json.NewDecoder(r)
+	var a Artifact
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("calib: decode artifact: %w", err)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("calib: artifact version %d, want %d (regenerate goldens)", a.Version, ArtifactVersion)
+	}
+	if a.Requests <= 0 {
+		return nil, fmt.Errorf("calib: artifact with non-positive requests %d", a.Requests)
+	}
+	for i, c := range a.Curves {
+		if c.Platform == "" {
+			return nil, fmt.Errorf("calib: curve %d: empty platform", i)
+		}
+		if !knownPattern(Pattern(c.Pattern)) {
+			return nil, fmt.Errorf("calib: curve %d: unknown pattern %q", i, c.Pattern)
+		}
+		if c.Size <= 0 || c.Depth <= 0 {
+			return nil, fmt.Errorf("calib: curve %d (%s): non-positive sweep coordinate", i, c.Key())
+		}
+		if c.WritePct < 0 || c.WritePct > 100 {
+			return nil, fmt.Errorf("calib: curve %d (%s): write percentage %d outside [0,100]", i, c.Key(), c.WritePct)
+		}
+	}
+	return &a, nil
+}

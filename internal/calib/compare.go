@@ -1,0 +1,51 @@
+package calib
+
+import (
+	"beacon/internal/obs"
+)
+
+// metricsDump lowers an artifact to the obs metrics-artifact shape: one
+// job per curve (labelled by Curve.Key) holding the curve's metrics as
+// final-snapshot values, plus a "calib" header job carrying the suite
+// identity. Lowering lets Compare reuse obs.DiffMetrics wholesale —
+// per-metric glob tolerances, missing-vs-present drift, deterministic
+// ordering — instead of reimplementing diff semantics.
+func metricsDump(a *Artifact) *obs.MetricsDump {
+	d := &obs.MetricsDump{Jobs: make([]obs.JobMetrics, 0, len(a.Curves)+1)}
+	d.Jobs = append(d.Jobs, obs.JobMetrics{
+		Label: "calib",
+		Metrics: obs.RegistryDump{Snapshots: []obs.Snapshot{{Values: map[string]float64{
+			"version":  float64(a.Version),
+			"seed":     float64(a.Seed),
+			"requests": float64(a.Requests),
+		}}}},
+	})
+	for _, c := range a.Curves {
+		d.Jobs = append(d.Jobs, obs.JobMetrics{
+			Label: c.Key(),
+			Metrics: obs.RegistryDump{Snapshots: []obs.Snapshot{{Values: map[string]float64{
+				"p50_cycles":           float64(c.Metrics.P50Cycles),
+				"p95_cycles":           float64(c.Metrics.P95Cycles),
+				"p99_cycles":           float64(c.Metrics.P99Cycles),
+				"mean_cycles":          c.Metrics.MeanCycles,
+				"gb_per_sec":           c.Metrics.GBPerSec,
+				"row_hit_rate":         c.Metrics.RowHitRate,
+				"faw_stall_cycles":     float64(c.Metrics.FAWStallCycles),
+				"refresh_stall_cycles": float64(c.Metrics.RefreshStallCycles),
+				"wire_bytes":           float64(c.Metrics.WireBytes),
+			}}}},
+		})
+	}
+	return d
+}
+
+// Compare diffs two curve artifacts under beaconprof-style tolerances
+// (obs.DiffOptions: a default relative tolerance plus per-metric glob
+// overrides matched against the curve metric names, e.g. "gb_per_sec" or
+// "p9?_cycles"). The result lists every drift, ordered by curve key then
+// metric; empty means the artifacts agree. A curve present in only one
+// artifact surfaces as a job_missing_* diff; the "calib" header job makes
+// seed/requests/version disagreements explicit drifts too.
+func Compare(a, b *Artifact, opt obs.DiffOptions) []obs.MetricDiff {
+	return obs.DiffMetrics(metricsDump(a), metricsDump(b), opt)
+}

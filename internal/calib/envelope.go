@@ -1,0 +1,160 @@
+package calib
+
+import (
+	"fmt"
+
+	"beacon/internal/cxl"
+	"beacon/internal/sim"
+)
+
+// Violation is one failed envelope property: a curve whose measured
+// behaviour escapes what the configured hardware could physically do (or
+// what its pattern was constructed to exhibit).
+type Violation struct {
+	// Curve is the offending curve's key ("" for artifact-level checks).
+	Curve string
+	// Msg describes the violated property.
+	Msg string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	if v.Curve == "" {
+		return v.Msg
+	}
+	return v.Curve + ": " + v.Msg
+}
+
+// CheckEnvelopes validates every curve of an artifact against
+// first-principles DDR4/CXL envelopes derived from the config that
+// produced it:
+//
+//   - latency sanity: 0 < p50 <= p95 <= p99, and p50 at least the
+//     tCAS-bound floor (CL + one burst, plus the fabric round-trip
+//     propagation on pool paths);
+//   - bandwidth ceiling: sustained GB/s never exceeds the DIMM pin
+//     bandwidth, nor the tightest fabric link on pool paths (scaled for
+//     the duplex split of a mixed read/write payload stream);
+//   - tFAW ceiling: activation-bound patterns (uniform-random and the
+//     bank-adversarial stream) stay under 4 activations per chip per tFAW
+//     window — with per-rank leading-chip gating, Ranks*4*size bytes per
+//     window;
+//   - row locality extremes: the row-friendly pattern row-hits >= 90%,
+//     the bank-conflict-adversarial pattern <= 1%, and adversarial p50
+//     carries the full precharge+activate+CAS conflict penalty;
+//   - ordering: streaming sustains at least uniform-random bandwidth at
+//     the same sweep coordinates.
+//
+// The returned violations are ordered by the artifact's curve order;
+// empty means the artifact is physically plausible.
+func CheckEnvelopes(a *Artifact, cfg Config) []Violation {
+	var out []Violation
+	add := func(curve, format string, args ...any) {
+		out = append(out, Violation{Curve: curve, Msg: fmt.Sprintf(format, args...)})
+	}
+	plats := map[string]PlatformSpec{}
+	for _, p := range cfg.Platforms {
+		plats[p.Name] = p
+	}
+	// Streaming curves indexed by coordinates for the ordering check.
+	streamGBs := map[string]float64{}
+	for _, c := range a.Curves {
+		if c.Pattern == string(PatternStreaming) {
+			streamGBs[fmt.Sprintf("%s/s%d/d%d/w%d", c.Platform, c.Size, c.Depth, c.WritePct)] = c.Metrics.GBPerSec
+		}
+	}
+
+	d := cfg.DIMM
+	for _, c := range a.Curves {
+		plat, ok := plats[c.Platform]
+		if !ok {
+			add(c.Key(), "platform not in config")
+			continue
+		}
+		m := c.Metrics
+
+		// Latency sanity and the tCAS floor. Every access pays CAS latency
+		// plus at least one burst; pool paths add the round-trip link and
+		// switch propagation both ways.
+		floor := int64(d.TCL + d.TBL)
+		switch plat.Via {
+		case PathSwitch:
+			floor += int64(2 * (cfg.Fabric.DIMMLink.LatencyCycles + cfg.Fabric.SwitchLatencyCycles))
+		case PathHost:
+			floor += int64(2 * (cfg.Fabric.DIMMLink.LatencyCycles + cfg.Fabric.SwitchLatencyCycles + cfg.Fabric.HostLink.LatencyCycles))
+		}
+		if m.P50Cycles < floor {
+			add(c.Key(), "p50 %d below the tCAS-bounded floor %d", m.P50Cycles, floor)
+		}
+		if !(m.P50Cycles <= m.P95Cycles && m.P95Cycles <= m.P99Cycles) {
+			add(c.Key(), "percentiles not monotonic: p50 %d p95 %d p99 %d", m.P50Cycles, m.P95Cycles, m.P99Cycles)
+		}
+		if m.GBPerSec <= 0 {
+			add(c.Key(), "non-positive bandwidth %g GB/s", m.GBPerSec)
+		}
+
+		// Pin-bandwidth ceiling. Fabric links are full duplex and read
+		// payloads ride the return direction while write payloads ride the
+		// request direction, so a mixed stream's link ceiling is one
+		// direction's bandwidth divided by the larger traffic fraction
+		// (up to 2x a pure stream's at a 50/50 mix).
+		pin := d.PeakBytesPerCycle()
+		if plat.Via != PathDRAM {
+			origin := cxl.Host()
+			if plat.Via == PathSwitch {
+				origin = cxl.Switch(0)
+			}
+			if link := cfg.Fabric.PinBytesPerCycle(origin, cxl.DIMM(0, 0)); link > 0 {
+				frac := float64(c.WritePct) / 100
+				if frac < 0.5 {
+					frac = 1 - frac
+				}
+				if link /= frac; link < pin {
+					pin = link
+				}
+			}
+		}
+		if ceil := sim.BytesPerCycleToGBs(pin); m.GBPerSec > ceil {
+			add(c.Key(), "bandwidth %.3g GB/s above the %.3g GB/s pin ceiling", m.GBPerSec, ceil)
+		}
+
+		// tFAW ceiling for activation-bound patterns: every request opens a
+		// row, and each chip group's leading chip admits at most 4
+		// activations per tFAW window (lock-step has one leading chip per
+		// rank; per-chip/coalesced modes have one per group).
+		if d.TFAW > 0 && (c.Pattern == string(PatternRandom) || c.Pattern == string(PatternBankAdversarial)) {
+			leaders := d.Ranks * newGeom(cfg, plat).groups
+			if c.Pattern == string(PatternBankAdversarial) {
+				leaders = 1 // the adversarial stream pins a single chip group
+			}
+			fawBytesPerCycle := float64(4*leaders*c.Size) / float64(d.TFAW)
+			if ceil := sim.BytesPerCycleToGBs(fawBytesPerCycle); m.GBPerSec > ceil {
+				add(c.Key(), "bandwidth %.3g GB/s above the %.3g GB/s tFAW ceiling", m.GBPerSec, ceil)
+			}
+		}
+
+		// Row-locality extremes.
+		switch c.Pattern {
+		case string(PatternRowFriendly):
+			if m.RowHitRate < 0.9 {
+				add(c.Key(), "row-friendly hit rate %.3f below 0.9", m.RowHitRate)
+			}
+		case string(PatternBankAdversarial):
+			if m.RowHitRate > 0.01 {
+				add(c.Key(), "bank-adversarial hit rate %.3f above 0.01", m.RowHitRate)
+			}
+			if conflictFloor := floor + int64(d.TRP+d.TRCD); m.P50Cycles < conflictFloor {
+				add(c.Key(), "adversarial p50 %d below the conflict floor %d", m.P50Cycles, conflictFloor)
+			}
+		case string(PatternRandom):
+			// 2% slack: when the request size fills a chip group's row,
+			// streaming degenerates to all-misses and random can tie it to
+			// within refresh-phase jitter.
+			key := fmt.Sprintf("%s/s%d/d%d/w%d", c.Platform, c.Size, c.Depth, c.WritePct)
+			if s, ok := streamGBs[key]; ok && m.GBPerSec > s*1.02 {
+				add(c.Key(), "random bandwidth %.3g GB/s above streaming's %.3g GB/s", m.GBPerSec, s)
+			}
+		}
+	}
+	return out
+}

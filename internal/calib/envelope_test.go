@@ -1,0 +1,150 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+)
+
+// plausibleCurve returns a curve that passes every envelope for the DDR
+// platform of the quick config.
+func plausibleCurve(pattern Pattern) Curve {
+	m := CurveMetrics{
+		P50Cycles: 60, P95Cycles: 80, P99Cycles: 120,
+		MeanCycles: 65, GBPerSec: 10, RowHitRate: 0.5,
+	}
+	switch pattern {
+	case PatternRowFriendly:
+		m.RowHitRate = 0.99
+	case PatternBankAdversarial:
+		m.RowHitRate = 0
+		m.P50Cycles, m.P95Cycles, m.P99Cycles = 100, 110, 120
+		m.GBPerSec = 1
+	case PatternRandom:
+		m.RowHitRate = 0
+		m.GBPerSec = 4
+	}
+	return Curve{
+		Platform: "ddr", Pattern: string(pattern),
+		Size: 64, Depth: 4, WritePct: 0, Metrics: m,
+	}
+}
+
+func envConfig() Config {
+	cfg := QuickConfig()
+	cfg.Platforms = []PlatformSpec{DDRPlatform()}
+	return cfg
+}
+
+func artifactOf(curves ...Curve) *Artifact {
+	return &Artifact{Version: ArtifactVersion, Seed: 1, Requests: 256, Curves: curves}
+}
+
+func TestCheckEnvelopesAcceptsPlausible(t *testing.T) {
+	var curves []Curve
+	for _, p := range AllPatterns() {
+		curves = append(curves, plausibleCurve(p))
+	}
+	if vs := CheckEnvelopes(artifactOf(curves...), envConfig()); len(vs) != 0 {
+		t.Fatalf("plausible artifact rejected: %v", vs)
+	}
+}
+
+func TestCheckEnvelopesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Curve)
+		pat  Pattern
+		want string
+	}{
+		{"latency below tCAS floor", func(c *Curve) { c.Metrics.P50Cycles = 5 }, PatternStreaming, "tCAS-bounded floor"},
+		{"non-monotonic percentiles", func(c *Curve) { c.Metrics.P95Cycles = c.Metrics.P99Cycles + 1 }, PatternStreaming, "not monotonic"},
+		{"zero bandwidth", func(c *Curve) { c.Metrics.GBPerSec = 0 }, PatternStreaming, "non-positive bandwidth"},
+		{"pin ceiling", func(c *Curve) { c.Metrics.GBPerSec = 100 }, PatternStreaming, "pin ceiling"},
+		{"tFAW ceiling", func(c *Curve) { c.Metrics.GBPerSec = 45 }, PatternRandom, "tFAW ceiling"},
+		{"row-friendly misses", func(c *Curve) { c.Metrics.RowHitRate = 0.2 }, PatternRowFriendly, "below 0.9"},
+		{"adversarial hits", func(c *Curve) { c.Metrics.RowHitRate = 0.5 }, PatternBankAdversarial, "above 0.01"},
+		{"adversarial below conflict floor", func(c *Curve) {
+			c.Metrics.P50Cycles, c.Metrics.P95Cycles, c.Metrics.P99Cycles = 30, 30, 30
+		}, PatternBankAdversarial, "conflict floor"},
+		{"unknown platform", func(c *Curve) { c.Platform = "vapor" }, PatternStreaming, "platform not in config"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := plausibleCurve(tc.pat)
+			tc.mut(&c)
+			vs := CheckEnvelopes(artifactOf(c), envConfig())
+			for _, v := range vs {
+				if strings.Contains(v.String(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("no violation mentioning %q; got %v", tc.want, vs)
+		})
+	}
+}
+
+// Random bandwidth above streaming's at the same sweep coordinates is a
+// violation; within the 2% jitter slack it is not.
+func TestCheckEnvelopesRandomVsStreaming(t *testing.T) {
+	stream := plausibleCurve(PatternStreaming)
+	random := plausibleCurve(PatternRandom)
+
+	random.Metrics.GBPerSec = stream.Metrics.GBPerSec * 1.5
+	vs := CheckEnvelopes(artifactOf(stream, random), envConfig())
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Msg, "above streaming") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("random 1.5x streaming not flagged: %v", vs)
+	}
+
+	random.Metrics.GBPerSec = stream.Metrics.GBPerSec * 1.01
+	if vs := CheckEnvelopes(artifactOf(stream, random), envConfig()); len(vs) != 0 {
+		t.Fatalf("random within jitter slack flagged: %v", vs)
+	}
+}
+
+// Pool-path floors include the fabric round trip, and the pin ceiling on a
+// mixed read/write stream doubles the one-direction link bandwidth.
+func TestCheckEnvelopesPoolPaths(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Platforms = []PlatformSpec{BeaconDirectPlatform()}
+
+	c := plausibleCurve(PatternStreaming)
+	c.Platform = "beacon-direct"
+	// 60 cycles is plausible raw DRAM latency but impossible through the
+	// switch fabric.
+	vs := CheckEnvelopes(artifactOf(c), cfg)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Msg, "tCAS-bounded floor") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pool-path latency floor not enforced: %v", vs)
+	}
+
+	// DIMM link is 40 B/cyc = 32 GB/s one way: 40 GB/s is a violation for a
+	// pure read stream but fine at a 50/50 mix (duplex ceiling 51.2 GB/s,
+	// the DIMM pin bandwidth).
+	c.Metrics.P50Cycles, c.Metrics.P95Cycles, c.Metrics.P99Cycles = 300, 320, 340
+	c.Metrics.GBPerSec = 40
+	vs = CheckEnvelopes(artifactOf(c), cfg)
+	found = false
+	for _, v := range vs {
+		if strings.Contains(v.Msg, "pin ceiling") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pure-read stream above the link ceiling not flagged: %v", vs)
+	}
+	c.WritePct = 50
+	if vs := CheckEnvelopes(artifactOf(c), cfg); len(vs) != 0 {
+		t.Fatalf("duplex mixed stream wrongly flagged: %v", vs)
+	}
+}

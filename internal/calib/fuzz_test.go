@@ -1,0 +1,153 @@
+package calib
+
+// Native fuzz target over the calibration-artifact codec: any byte string
+// is a candidate artifact. Inputs that decode must re-encode canonically —
+// the canonical encoding is a fixed point of decode/encode and carries
+// every metric unchanged. The seed corpus is committed under testdata/fuzz
+// (TestCalibFuzzCorpusSeeded pins the files to the cases) so CI's fuzz
+// exploration starts from real artifacts and the codec's documented
+// rejections.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"beacon/internal/obs"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite the fuzz seed corpus from the codec seed cases")
+
+// codecSeedCases are the corpus seeds: valid artifacts of varying shape
+// plus each class of input the decoder documents rejecting.
+var codecSeedCases = []struct {
+	name string
+	data []byte
+}{
+	{"empty", []byte("")},
+	{"not_json", []byte("platform,pattern,p50\nddr,streaming,26\n")},
+	{"truncated", []byte(`{"version":1,"seed":1,"requests":256,"curves":[{"platform":"ddr"`)},
+	{"wrong_version", []byte(`{"version":99,"seed":1,"requests":1,"curves":[]}` + "\n")},
+	{"bad_requests", []byte(`{"version":1,"seed":1,"requests":0,"curves":[]}` + "\n")},
+	{"unknown_pattern", []byte(`{"version":1,"seed":1,"requests":1,"curves":[{"platform":"ddr","pattern":"zigzag","size":64,"depth":1,"write_pct":0,"metrics":{}}]}` + "\n")},
+	{"bad_write_pct", []byte(`{"version":1,"seed":1,"requests":1,"curves":[{"platform":"ddr","pattern":"random","size":64,"depth":1,"write_pct":101,"metrics":{}}]}` + "\n")},
+	{"minimal", mustEncode(&Artifact{Version: ArtifactVersion, Seed: 0, Requests: 1, Curves: nil})},
+	{"one_curve", mustEncode(&Artifact{Version: ArtifactVersion, Seed: 7, Requests: 64, Curves: []Curve{
+		{Platform: "ddr", Pattern: string(PatternStreaming), Size: 64, Depth: 1, WritePct: 0,
+			Metrics: CurveMetrics{P50Cycles: 26, P95Cycles: 26, P99Cycles: 306, MeanCycles: 30.71875,
+				GBPerSec: 1.666734486266531, RowHitRate: 0.984375, RefreshStallCycles: 1120}},
+	}})},
+	{"multi_platform", mustEncode(&Artifact{Version: ArtifactVersion, Seed: 1, Requests: 256, Curves: []Curve{
+		{Platform: "ddr", Pattern: string(PatternRandom), Size: 512, Depth: 8, WritePct: 50,
+			Metrics: CurveMetrics{P50Cycles: 98, P95Cycles: 190, P99Cycles: 206, MeanCycles: 110.5,
+				GBPerSec: 28.4, FAWStallCycles: 20, WireBytes: 0}},
+		{Platform: "beacon-switched", Pattern: string(PatternPointerChase), Size: 64, Depth: 8, WritePct: 0,
+			Metrics: CurveMetrics{P50Cycles: 778, P95Cycles: 802, P99Cycles: 802, MeanCycles: 780,
+				GBPerSec: 0.601, RefreshStallCycles: 40880, WireBytes: 40960}},
+	}})},
+}
+
+func mustEncode(a *Artifact) []byte {
+	b, err := a.EncodeBytes()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func FuzzCalibCurveCodec(f *testing.F) {
+	for _, tc := range codecSeedCases {
+		f.Add(tc.data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap the input so a single fuzz iteration stays fast: decoding is
+		// linear in the input and the property holds on any prefix shape.
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		a, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs need no round trip
+		}
+		enc, err := a.EncodeBytes()
+		if err != nil {
+			t.Fatalf("decoded artifact fails to encode: %v", err)
+		}
+		b, err := Decode(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding fails to decode: %v", err)
+		}
+		enc2, err := b.EncodeBytes()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+		if diffs := Compare(a, b, obs.DiffOptions{}); len(diffs) != 0 {
+			t.Fatalf("round trip drifted: %v", diffs)
+		}
+	})
+}
+
+// TestCalibFuzzCorpusSeeded verifies every codec seed case is committed to
+// the fuzz seed corpus (and nothing stale lingers). Regenerate with:
+//
+//	go test ./internal/calib -run TestCalibFuzzCorpusSeeded -update-corpus
+func TestCalibFuzzCorpusSeeded(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCalibCurveCodec")
+	want := make(map[string]string, len(codecSeedCases))
+	names := make([]string, 0, len(codecSeedCases))
+	for _, tc := range codecSeedCases {
+		name := "seed_" + tc.name
+		want[name] = fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", tc.data)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if *updateCorpus {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(want[name]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d corpus seeds in %s", len(want), dir)
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (run with -update-corpus): %v", err)
+	}
+	got := map[string]bool{}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "seed_") {
+			continue // fuzzing finds may be added manually; leave them be
+		}
+		got[name] = true
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantBody, ok := want[name]; !ok {
+			t.Errorf("stale corpus seed %s (no matching codec case)", name)
+		} else if string(body) != wantBody {
+			t.Errorf("corpus seed %s drifted from its codec case (run with -update-corpus)", name)
+		}
+	}
+	for _, name := range names {
+		if !got[name] {
+			t.Errorf("codec case missing from seed corpus: %s (run with -update-corpus)", name)
+		}
+	}
+}

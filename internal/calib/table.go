@@ -1,0 +1,25 @@
+package calib
+
+import (
+	"fmt"
+
+	"beacon/internal/report"
+)
+
+// Table renders an artifact's curves as an aligned text table (one row per
+// sweep point, in artifact order) for `beaconbench -calibrate`.
+func Table(title string, a *Artifact) string {
+	t := report.NewTable(title,
+		"platform", "pattern", "size", "depth", "wr%",
+		"p50", "p95", "p99", "GB/s", "row-hit", "faw-stall", "ref-stall")
+	for _, c := range a.Curves {
+		t.AddRow(
+			c.Platform, c.Pattern,
+			fmt.Sprint(c.Size), fmt.Sprint(c.Depth), fmt.Sprint(c.WritePct),
+			fmt.Sprint(c.Metrics.P50Cycles), fmt.Sprint(c.Metrics.P95Cycles), fmt.Sprint(c.Metrics.P99Cycles),
+			report.FormatGBs(c.Metrics.GBPerSec),
+			report.FormatPercent(c.Metrics.RowHitRate),
+			fmt.Sprint(c.Metrics.FAWStallCycles), fmt.Sprint(c.Metrics.RefreshStallCycles))
+	}
+	return t.String()
+}

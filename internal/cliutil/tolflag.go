@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+
+	"beacon/internal/obs"
+)
+
+// TolFlag is a repeatable flag.Value collecting pattern=tolerance pairs
+// for metric-diff flags (beaconprof -metric-tol, beaconbench -calib-tol).
+// Patterns use path.Match syntax; metric names contain no '/', so '*'
+// spans whole names. The first matching pattern wins (obs.DiffOptions
+// semantics).
+type TolFlag struct {
+	tols []obs.MetricTolerance
+}
+
+// String renders the collected pairs (flag.Value).
+func (t *TolFlag) String() string {
+	parts := make([]string, 0, len(t.tols))
+	for _, mt := range t.tols {
+		parts = append(parts, fmt.Sprintf("%s=%g", mt.Pattern, mt.Tolerance))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one pattern=tolerance pair (flag.Value). Tolerances must be
+// non-negative numbers; patterns must be valid path.Match globs.
+func (t *TolFlag) Set(s string) error {
+	pat, tol, ok := strings.Cut(s, "=")
+	if !ok || pat == "" {
+		return fmt.Errorf("want pattern=tolerance, got %q", s)
+	}
+	v, err := strconv.ParseFloat(tol, 64)
+	if err != nil || v < 0 {
+		return fmt.Errorf("bad tolerance in %q", s)
+	}
+	if _, err := path.Match(pat, ""); err != nil {
+		return fmt.Errorf("bad pattern %q: %v", pat, err)
+	}
+	t.tols = append(t.tols, obs.MetricTolerance{Pattern: pat, Tolerance: v})
+	return nil
+}
+
+// Tolerances returns the collected per-metric tolerances in flag order.
+func (t *TolFlag) Tolerances() []obs.MetricTolerance {
+	return t.tols
+}

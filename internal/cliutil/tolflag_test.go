@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"testing"
+)
+
+func TestTolFlagSet(t *testing.T) {
+	var f TolFlag
+	for _, s := range []string{"util.*=0.05", "dram.*.row_hits=0", "*=0.001"} {
+		if err := f.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	tols := f.Tolerances()
+	if len(tols) != 3 {
+		t.Fatalf("got %d tolerances, want 3", len(tols))
+	}
+	if tols[0].Pattern != "util.*" || tols[0].Tolerance != 0.05 {
+		t.Errorf("first tolerance wrong: %+v", tols[0])
+	}
+	if got, want := f.String(), "util.*=0.05,dram.*.row_hits=0,*=0.001"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTolFlagRejects(t *testing.T) {
+	for _, s := range []string{"", "noequals", "=0.1", "p=x", "p=-0.5", "[=0.1"} {
+		var f TolFlag
+		if err := f.Set(s); err == nil {
+			t.Errorf("Set(%q) accepted", s)
+		}
+	}
+}
+
+func TestTolFlagEmptyString(t *testing.T) {
+	var f TolFlag
+	if got := f.String(); got != "" {
+		t.Errorf("empty TolFlag String() = %q", got)
+	}
+}

@@ -55,7 +55,7 @@ type Result struct {
 }
 
 // Seconds converts the makespan to seconds (1.25 ns cycles).
-func (r *Result) Seconds() float64 { return float64(r.Cycles) * 1.25e-9 }
+func (r *Result) Seconds() float64 { return sim.Seconds(r.Cycles) }
 
 // EnergyPJ returns total energy.
 func (r *Result) EnergyPJ() float64 { return r.Energy.TotalPJ() }

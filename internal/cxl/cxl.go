@@ -155,6 +155,37 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// PinBytesPerCycle returns the bottleneck per-direction link bandwidth (in
+// bytes per cycle) on the path between two endpoints: the tightest of the
+// DIMM link, host link and Switch-Bus the path traverses. It is the wire
+// ceiling calibration envelopes check sustained bandwidth against. An ideal
+// fabric (or a degenerate same-node path) has no wire and returns 0,
+// meaning "unbounded".
+func (c Config) PinBytesPerCycle(from, to NodeID) float64 {
+	if c.Ideal || from == to {
+		return 0
+	}
+	min := 0.0
+	tighten := func(bw float64) {
+		if min == 0 || bw < min {
+			min = bw
+		}
+	}
+	// Any path touching a DIMM crosses its x8 link; any path touching the
+	// host (or crossing switches, which detours through the host) crosses a
+	// host link; every switch traversal crosses the Switch-Bus.
+	if from.Kind == NodeDIMM || to.Kind == NodeDIMM {
+		tighten(c.DIMMLink.BytesPerCycle)
+	}
+	if from.Kind == NodeHost || to.Kind == NodeHost || from.Switch != to.Switch {
+		tighten(c.HostLink.BytesPerCycle)
+	}
+	if from.Kind != NodeHost || to.Kind != NodeHost {
+		tighten(c.SwitchBusBytesPerCycle)
+	}
+	return min
+}
+
 // duplex is a pair of directed pipes.
 type duplex struct {
 	// toward the host/switch root ("up") and away from it ("down").

@@ -253,3 +253,44 @@ func TestRouteMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPinBytesPerCycle(t *testing.T) {
+	c := DefaultConfig() // DIMM link 40 B/cyc, host link 80, Switch-Bus 160
+	cases := []struct {
+		name     string
+		from, to NodeID
+		want     float64
+	}{
+		{"host to dimm", Host(), DIMM(0, 0), c.DIMMLink.BytesPerCycle},
+		{"dimm to host", DIMM(1, 2), Host(), c.DIMMLink.BytesPerCycle},
+		{"same switch dimm pair", DIMM(0, 0), DIMM(0, 1), c.DIMMLink.BytesPerCycle},
+		{"cross switch detours via host", DIMM(0, 0), DIMM(1, 0), c.DIMMLink.BytesPerCycle},
+		{"host to switch", Host(), Switch(0), c.HostLink.BytesPerCycle},
+		{"same node", DIMM(0, 0), DIMM(0, 0), 0},
+	}
+	for _, tc := range cases {
+		if got := c.PinBytesPerCycle(tc.from, tc.to); got != tc.want {
+			t.Errorf("%s: pin %.1f, want %.1f", tc.name, got, tc.want)
+		}
+	}
+
+	// The answer is the tightest link on the path: squeeze the host link
+	// below the DIMM link and a cross-switch path inherits it.
+	narrow := c
+	narrow.HostLink.BytesPerCycle = c.DIMMLink.BytesPerCycle / 2
+	if got := narrow.PinBytesPerCycle(DIMM(0, 0), DIMM(1, 0)); got != narrow.HostLink.BytesPerCycle {
+		t.Errorf("cross-switch pin %.1f, want narrowed host link %.1f", got, narrow.HostLink.BytesPerCycle)
+	}
+	// Same-switch traffic never touches the host link, so it keeps the
+	// DIMM-link ceiling.
+	if got := narrow.PinBytesPerCycle(DIMM(0, 0), DIMM(0, 1)); got != c.DIMMLink.BytesPerCycle {
+		t.Errorf("same-switch pin %.1f, want DIMM link %.1f", got, c.DIMMLink.BytesPerCycle)
+	}
+
+	// Ideal fabrics have no wire: unbounded.
+	ideal := c
+	ideal.Ideal = true
+	if got := ideal.PinBytesPerCycle(Host(), DIMM(0, 0)); got != 0 {
+		t.Errorf("ideal pin %.1f, want 0", got)
+	}
+}

@@ -77,6 +77,17 @@ type Stats struct {
 	RefreshStallCycles sim.Cycles
 }
 
+// RowHitRate returns the fraction of row-buffer decisions that hit an open
+// row: hits / (hits + misses + conflicts). A DIMM with no accesses yet
+// reports 0 (never NaN — the ratio feeds JSON artifacts directly).
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
 // DIMM is one simulated module. All methods are single-goroutine, in keeping
 // with the deterministic event kernel.
 type DIMM struct {

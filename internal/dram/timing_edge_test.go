@@ -1,0 +1,177 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+
+	"beacon/internal/sim"
+)
+
+// Table-driven timing edge cases. Unlike the behavioural tests above, these
+// pin the stall-cycle accounting *exactly*: every scenario states the
+// precise FAWStallCycles/RefreshStallCycles totals and completion cycles it
+// must produce under DefaultConfig arithmetic (tRCD=22, tRP=22, tCL=22,
+// tBL=4, tFAW=20, tREFI=6240, tRFC=280).
+func TestTimingEdgeCases(t *testing.T) {
+	type step struct {
+		now      sim.Cycle
+		loc      Loc
+		bytes    int
+		mode     AccessMode
+		wantErr  string    // non-empty: the access must fail with this substring
+		wantDone sim.Cycle // checked when wantErr is empty
+	}
+	// fawSetup saturates chip 0's activation window: four activations at
+	// t=0 on banks 0..3 (per-chip mode, 4 bytes = 1 burst each). Bank
+	// timing gives start=0, burst issue at 22; the shared chip data bus
+	// serializes the four bursts, so completions step by tBL.
+	fawSetup := []step{
+		{now: 0, loc: Loc{Bank: 0, Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 48},
+		{now: 0, loc: Loc{Bank: 1, Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 52},
+		{now: 0, loc: Loc{Bank: 2, Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 56},
+		{now: 0, loc: Loc{Bank: 3, Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 60},
+	}
+	cases := []struct {
+		name     string
+		cfg      func(*Config)
+		coalesce int
+		steps    []step
+
+		wantFAWStallCycles     sim.Cycles
+		wantRefreshStallCycles sim.Cycles
+		wantFAWStalls          uint64
+		wantRefreshes          uint64
+	}{
+		{
+			// The fifth activation lands exactly at the tFAW boundary
+			// (oldest activation + tFAW = 20): the window admits it with
+			// zero stall. Completion matches the stalled variants below —
+			// only the accounting distinguishes them.
+			name:     "fifth activation exactly at the tFAW boundary",
+			cfg:      func(c *Config) { c.TREFI = 0 },
+			coalesce: 1,
+			steps: append(append([]step{}, fawSetup...),
+				step{now: 20, loc: Loc{Bank: 4, Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 68}),
+			wantFAWStallCycles: 0,
+			wantFAWStalls:      0,
+		},
+		{
+			// One cycle inside the window: the stall is exactly 1 cycle.
+			name:     "fifth activation one cycle inside the tFAW window",
+			cfg:      func(c *Config) { c.TREFI = 0 },
+			coalesce: 1,
+			steps: append(append([]step{}, fawSetup...),
+				step{now: 19, loc: Loc{Bank: 4, Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 68}),
+			wantFAWStallCycles: 1,
+			wantFAWStalls:      1,
+		},
+		{
+			// Issued with the window fully occupied: the stall is the whole
+			// tFAW span.
+			name:     "fifth activation at window open",
+			cfg:      func(c *Config) { c.TREFI = 0 },
+			coalesce: 1,
+			steps: append(append([]step{}, fawSetup...),
+				step{now: 0, loc: Loc{Bank: 4, Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 68}),
+			wantFAWStallCycles: 20,
+			wantFAWStalls:      1,
+		},
+		{
+			// A refresh window elapses while a burst is still in flight: the
+			// access that crosses into window 1 queues behind the busy bank
+			// AND pays exactly one tRFC, charged once — a third access in
+			// the same window pays nothing.
+			//   A: miss at 6238, bank busy [6238,6264), done 6286.
+			//   B: hit at 6241 (window 1) -> tRFC prep, bank start 6264,
+			//      done 6264+280+4+22 = 6570.
+			//   C: hit at 6600, same window, no charge, done 6626.
+			name:     "refresh collides with an in-flight burst",
+			cfg:      func(c *Config) { c.TFAW = 0 },
+			coalesce: 8,
+			steps: []step{
+				{now: 6238, loc: Loc{Row: 1}, bytes: 32, mode: ModeCoalesced, wantDone: 6286},
+				{now: 6241, loc: Loc{Row: 1}, bytes: 32, mode: ModeCoalesced, wantDone: 6570},
+				{now: 6600, loc: Loc{Row: 1}, bytes: 32, mode: ModeCoalesced, wantDone: 6626},
+			},
+			wantRefreshStallCycles: 280,
+			wantRefreshes:          1,
+		},
+		{
+			// Zero-length and negative requests are rejected before any
+			// state mutates: no counters move, and a subsequent legitimate
+			// access behaves as if the DIMM were untouched.
+			name:     "non-positive request sizes rejected",
+			cfg:      func(c *Config) { c.TREFI = 0; c.TFAW = 0 },
+			coalesce: 1,
+			steps: []step{
+				{now: 0, loc: Loc{Row: 1}, bytes: 0, mode: ModePerChip, wantErr: "non-positive access size"},
+				{now: 0, loc: Loc{Row: 1}, bytes: -64, mode: ModePerChip, wantErr: "non-positive access size"},
+				{now: 0, loc: Loc{Row: 1}, bytes: 4, mode: ModePerChip, wantDone: 48},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.cfg(&cfg)
+			d, err := NewDIMM("edge", cfg, tc.coalesce)
+			if err != nil {
+				t.Fatalf("NewDIMM: %v", err)
+			}
+			for i, s := range tc.steps {
+				done, err := d.Access(s.now, s.loc, s.bytes, false, s.mode)
+				if s.wantErr != "" {
+					if err == nil || !strings.Contains(err.Error(), s.wantErr) {
+						t.Fatalf("step %d: error %v, want %q", i, err, s.wantErr)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+				if done != s.wantDone {
+					t.Errorf("step %d: done at %d, want %d", i, done, s.wantDone)
+				}
+			}
+			st := d.Stats()
+			if st.FAWStallCycles != tc.wantFAWStallCycles {
+				t.Errorf("FAWStallCycles = %d, want %d", st.FAWStallCycles, tc.wantFAWStallCycles)
+			}
+			if st.RefreshStallCycles != tc.wantRefreshStallCycles {
+				t.Errorf("RefreshStallCycles = %d, want %d", st.RefreshStallCycles, tc.wantRefreshStallCycles)
+			}
+			if st.FAWStalls != tc.wantFAWStalls {
+				t.Errorf("FAWStalls = %d, want %d", st.FAWStalls, tc.wantFAWStalls)
+			}
+			if st.Refreshes != tc.wantRefreshes {
+				t.Errorf("Refreshes = %d, want %d", st.Refreshes, tc.wantRefreshes)
+			}
+		})
+	}
+}
+
+// A rejected access leaves every counter untouched — paired with the table
+// above, this pins that rejection happens before any bookkeeping.
+func TestRejectedAccessLeavesStatsUntouched(t *testing.T) {
+	d := testDIMM(t, 4)
+	if _, err := d.Access(0, Loc{Row: 1}, 0, false, ModeLockstep); err == nil {
+		t.Fatal("zero-length access accepted")
+	}
+	st := d.Stats()
+	if st.Reads+st.Writes+st.RowHits+st.RowMisses+st.RowConflicts+st.Activations+st.BurstsIssued != 0 {
+		t.Errorf("rejected access moved counters: %+v", st)
+	}
+	if st.BusyCyclesByChips != 0 || st.FAWStallCycles != 0 || st.RefreshStallCycles != 0 {
+		t.Errorf("rejected access moved cycle accounting: %+v", st)
+	}
+}
+
+func TestStatsRowHitRate(t *testing.T) {
+	if got := (Stats{}).RowHitRate(); got != 0 {
+		t.Errorf("untouched DIMM hit rate = %v, want 0", got)
+	}
+	s := Stats{RowHits: 3, RowMisses: 1, RowConflicts: 0}
+	if got := s.RowHitRate(); got != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", got)
+	}
+}

@@ -54,7 +54,9 @@ type MetricDiff struct {
 	Metric string
 	// A and B are the two values (NaN when absent on one side).
 	A, B float64
-	// Rel is the relative difference |a-b|/max(|a|,|b|).
+	// Rel is the relative difference |a-b|/max(|a|,|b|). It is +Inf for
+	// metrics missing on one side and for NaN/Inf-vs-number mismatches, so
+	// filtering on Rel can never silently drop them.
 	Rel float64
 	// Kind classifies the difference: "value", "missing_in_a",
 	// "missing_in_b", "job_missing_in_a", "job_missing_in_b".
@@ -75,10 +77,16 @@ func (d MetricDiff) String() string {
 }
 
 // relDiff returns |a-b| / max(|a|,|b|); equal values (including both
-// zero, both NaN, or equal infinities) yield 0.
+// zero, both NaN, or equal infinities) yield 0. Any other pairing that
+// involves a NaN or an infinity returns +Inf: the plain ratio would be
+// NaN, and NaN compares false against every tolerance — the drift would
+// vanish instead of being reported.
 func relDiff(a, b float64) float64 {
 	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
 		return 0
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.Inf(1)
 	}
 	den := math.Max(math.Abs(a), math.Abs(b))
 	if den == 0 {
@@ -177,9 +185,11 @@ func diffValues(job string, va, vb map[string]float64, opt DiffOptions) []Metric
 		b, inB := vb[n]
 		switch {
 		case !inA:
-			out = append(out, MetricDiff{Job: job, Metric: n, A: math.NaN(), B: b, Kind: "missing_in_a"})
+			// Missing-on-one-side is drift even when the present value is
+			// zero; Rel=+Inf keeps it above any tolerance downstream.
+			out = append(out, MetricDiff{Job: job, Metric: n, A: math.NaN(), B: b, Rel: math.Inf(1), Kind: "missing_in_a"})
 		case !inB:
-			out = append(out, MetricDiff{Job: job, Metric: n, A: a, B: math.NaN(), Kind: "missing_in_b"})
+			out = append(out, MetricDiff{Job: job, Metric: n, A: a, B: math.NaN(), Rel: math.Inf(1), Kind: "missing_in_b"})
 		default:
 			if rel := relDiff(a, b); rel > opt.tolFor(n) {
 				out = append(out, MetricDiff{Job: job, Metric: n, A: a, B: b, Rel: rel, Kind: "value"})

@@ -185,3 +185,63 @@ func TestReadMetricsJSONRoundTrip(t *testing.T) {
 		t.Fatal("bad JSON must fail")
 	}
 }
+
+// A metric present with value zero on one side and absent on the other is
+// drift, reported regardless of tolerance and with Rel=+Inf so downstream
+// Rel filtering cannot hide it (regression: missing kinds used to carry
+// Rel=0).
+func TestDiffMetricsZeroVsMissing(t *testing.T) {
+	withZero := dump("j", map[string]float64{"x": 1, "stalls": 0}, nil)
+	without := dump("j", map[string]float64{"x": 1}, nil)
+
+	diffs := DiffMetrics(withZero, without, DiffOptions{Tolerance: 0.5})
+	if len(diffs) != 1 || diffs[0].Kind != "missing_in_b" || diffs[0].Metric != "stalls" {
+		t.Fatalf("zero-vs-missing (a has it): %v, want one missing_in_b on stalls", diffs)
+	}
+	if !math.IsInf(diffs[0].Rel, 1) {
+		t.Errorf("missing-kind Rel = %g, want +Inf", diffs[0].Rel)
+	}
+
+	diffs = DiffMetrics(without, withZero, DiffOptions{Tolerance: 0.5})
+	if len(diffs) != 1 || diffs[0].Kind != "missing_in_a" || diffs[0].Metric != "stalls" {
+		t.Fatalf("zero-vs-missing (b has it): %v, want one missing_in_a on stalls", diffs)
+	}
+	if !math.IsInf(diffs[0].Rel, 1) {
+		t.Errorf("missing-kind Rel = %g, want +Inf", diffs[0].Rel)
+	}
+}
+
+// NaN on one side is drift under every tolerance (regression: NaN/number
+// pairs produced a NaN relative difference, which compares false against
+// any tolerance and silently passed).
+func TestDiffMetricsNaNVsNumberFlagged(t *testing.T) {
+	a := dump("j", map[string]float64{"x": math.NaN()}, nil)
+	b := dump("j", map[string]float64{"x": 3}, nil)
+	for _, tol := range []float64{0, 0.5, 1e9} {
+		diffs := DiffMetrics(a, b, DiffOptions{Tolerance: tol})
+		if len(diffs) != 1 || diffs[0].Kind != "value" {
+			t.Fatalf("tol %g: NaN vs 3 diffs = %v, want one value diff", tol, diffs)
+		}
+		if !math.IsInf(diffs[0].Rel, 1) {
+			t.Errorf("tol %g: Rel = %g, want +Inf", tol, diffs[0].Rel)
+		}
+	}
+	// Both NaN: agree.
+	if diffs := DiffMetrics(a, a, DiffOptions{}); len(diffs) != 0 {
+		t.Fatalf("NaN vs NaN should agree: %v", diffs)
+	}
+}
+
+func TestRelDiffNonFinitePairs(t *testing.T) {
+	for _, c := range [][2]float64{
+		{math.NaN(), 1},
+		{1, math.NaN()},
+		{math.Inf(1), 1},
+		{1, math.Inf(-1)},
+		{math.Inf(1), math.Inf(-1)},
+	} {
+		if got := relDiff(c[0], c[1]); !math.IsInf(got, 1) {
+			t.Errorf("relDiff(%g,%g) = %g, want +Inf", c[0], c[1], got)
+		}
+	}
+}

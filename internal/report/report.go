@@ -108,6 +108,20 @@ func FormatPercent(v float64) string {
 	return fmt.Sprintf("%.2f%%", 100*v)
 }
 
+// FormatGBs renders a bandwidth in GB/s with precision scaled to its
+// magnitude (calibration tables span idle pointer-chase trickles to
+// multi-GB/s streams).
+func FormatGBs(v float64) string {
+	switch {
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.5f", v)
+	}
+}
+
 // KV renders an aligned key-value block (run provenance headers, summary
 // footers): each key is left-padded to the widest, followed by its value.
 func KV(title string, pairs ...[2]string) string {

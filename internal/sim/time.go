@@ -1,0 +1,28 @@
+package sim
+
+// CyclePeriodSeconds is the wall-clock duration of one simulated cycle:
+// tCK = 1.25 ns at the DDR4-1600 bus clock (800 MHz). Every conversion
+// between cycles and seconds in the repository goes through this constant
+// so the clock can never silently diverge between packages.
+const CyclePeriodSeconds = 1.25e-9
+
+// Seconds converts a cycle count to seconds.
+func Seconds(c Cycle) float64 { return float64(c) * CyclePeriodSeconds }
+
+// GBPerSecond converts (bytes moved, elapsed cycles) to sustained GB/s
+// (10^9 bytes per second). A non-positive span yields 0 — an empty run has
+// no defined bandwidth, and callers feed the result straight into JSON
+// artifacts where NaN/Inf would fail to encode.
+func GBPerSecond(bytes uint64, span Cycles) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(bytes) / Seconds(span) / 1e9
+}
+
+// BytesPerCycleToGBs converts a bandwidth in bytes per cycle to GB/s:
+// 1 B/cycle = 1 B / 1.25 ns = 0.8 GB/s. Envelope checks use it to turn
+// configured pin bandwidths into the same unit measured curves report.
+func BytesPerCycleToGBs(bytesPerCycle float64) float64 {
+	return bytesPerCycle / CyclePeriodSeconds / 1e9
+}

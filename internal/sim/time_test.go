@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeconds(t *testing.T) {
+	// 8e8 cycles at 1.25 ns is exactly one second.
+	if got := Seconds(8e8); got != 1.0 {
+		t.Fatalf("Seconds(8e8) = %g, want 1", got)
+	}
+	if got := Seconds(0); got != 0 {
+		t.Fatalf("Seconds(0) = %g, want 0", got)
+	}
+}
+
+func TestGBPerSecond(t *testing.T) {
+	// 64 B/cycle sustained = 51.2 GB/s (the DDR4-1600 DIMM-internal peak).
+	// The division order differs from BytesPerCycleToGBs, so allow one ulp
+	// of rounding slack.
+	if got := GBPerSecond(64000, 1000); math.Abs(got-51.2) > 1e-12 {
+		t.Fatalf("GBPerSecond(64000, 1000) = %g, want 51.2", got)
+	}
+	// Degenerate spans yield 0, never NaN/Inf (artifacts are JSON-encoded).
+	if got := GBPerSecond(100, 0); got != 0 {
+		t.Fatalf("GBPerSecond(100, 0) = %g, want 0", got)
+	}
+	if got := GBPerSecond(100, -5); got != 0 {
+		t.Fatalf("GBPerSecond(100, -5) = %g, want 0", got)
+	}
+}
+
+func TestBytesPerCycleToGBs(t *testing.T) {
+	// 1 B/cycle = 0.8 GB/s; the default DIMM's 64 B/cycle = 51.2 GB/s.
+	if got := BytesPerCycleToGBs(1); got != 0.8 {
+		t.Fatalf("BytesPerCycleToGBs(1) = %g, want 0.8", got)
+	}
+	if got := BytesPerCycleToGBs(64); got != 51.2 {
+		t.Fatalf("BytesPerCycleToGBs(64) = %g, want 51.2", got)
+	}
+}

@@ -359,7 +359,7 @@ func simulateShared(p Platform, wls []*Workload) (*SharedReport, error) {
 	for i, sl := range res.PerWorkload {
 		out.Tenants = append(out.Tenants, TenantReport{
 			Workload: names[i],
-			Seconds:  float64(sl.Cycles) * 1.25e-9,
+			Seconds:  sim.Seconds(sl.Cycles),
 			Tasks:    sl.Tasks,
 		})
 	}
