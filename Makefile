@@ -22,8 +22,10 @@ bench:
 	BEACON_BENCH_TRACE=BENCH_trace.json $(GO) test -run TestBenchTraceArtifact -v .
 	BEACON_BENCH_ENGINE=BENCH_engine.json $(GO) test -run TestBenchEngineArtifact -v .
 
-# The repository's determinism analyzers (see DESIGN.md §4d). Exits
-# non-zero on any diagnostic; suppressions need //beaconlint:allow.
+# The repository's determinism analyzers (see DESIGN.md §4d), including
+# the dataflow-backed unitflow/seedflow/errwrap checks. Exit codes: 0
+# clean, 1 load error, 2 findings; suppressions need //beaconlint:allow.
+# Add -json for one JSON diagnostic per line on stdout.
 beaconlint:
 	$(GO) run ./tools/beaconlint ./...
 

@@ -125,7 +125,7 @@ func SimulateWithAllocation(p Platform, w *Workload, opts AllocationOptions) (*A
 		Report:           *rep,
 		MigratedBytes:    migrated,
 		PageTableUpdates: ptes,
-		SetupSeconds:     setupCycles * sim.CyclePeriodSeconds,
+		SetupSeconds:     sim.SecondsOf(setupCycles),
 	}
 	for _, a := range granted {
 		out.DIMMsGranted += len(a.DIMMs)

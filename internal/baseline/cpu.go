@@ -91,7 +91,7 @@ func RunCPU(cfg CPUConfig, wl *trace.Workload) (*CPUResult, error) {
 	seconds := totalNS / float64(cfg.Threads) / 1e9
 	return &CPUResult{
 		Seconds:  seconds,
-		Cycles:   sim.Cycle(seconds / sim.CyclePeriodSeconds),
+		Cycles:   sim.CyclesIn(seconds),
 		EnergyPJ: seconds * cfg.PowerWatts * 1e12,
 	}, nil
 }

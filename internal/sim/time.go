@@ -9,6 +9,14 @@ const CyclePeriodSeconds = 1.25e-9
 // Seconds converts a cycle count to seconds.
 func Seconds(c Cycle) float64 { return float64(c) * CyclePeriodSeconds }
 
+// SecondsOf converts a fractional cycle count to seconds. It is the
+// float64 companion to Seconds for analytic models whose cycle counts are
+// not integral (e.g. bytes divided by a per-cycle rate).
+func SecondsOf(cycles float64) float64 { return cycles * CyclePeriodSeconds }
+
+// CyclesIn converts a duration in seconds to whole cycles (truncating).
+func CyclesIn(seconds float64) Cycle { return Cycle(seconds / CyclePeriodSeconds) }
+
 // GBPerSecond converts (bytes moved, elapsed cycles) to sustained GB/s
 // (10^9 bytes per second). A non-positive span yields 0 — an empty run has
 // no defined bandwidth, and callers feed the result straight into JSON

@@ -15,6 +15,42 @@ func TestSeconds(t *testing.T) {
 	}
 }
 
+func TestSecondsOf(t *testing.T) {
+	// SecondsOf is the float64 companion to Seconds: identical arithmetic,
+	// fractional cycles allowed.
+	if got, want := SecondsOf(8e8), 1.0; got != want {
+		t.Fatalf("SecondsOf(8e8) = %g, want %g", got, want)
+	}
+	if got, want := SecondsOf(0.5), Seconds(1)/2; got != want {
+		t.Fatalf("SecondsOf(0.5) = %g, want %g", got, want)
+	}
+	for _, c := range []Cycle{0, 1, 7, 1e6, 8e8} {
+		if got, want := SecondsOf(float64(c)), Seconds(c); got != want {
+			t.Fatalf("SecondsOf(%d) = %g, want Seconds = %g", c, got, want)
+		}
+	}
+}
+
+func TestCyclesIn(t *testing.T) {
+	// One second at 1.25 ns/cycle is exactly 8e8 cycles.
+	if got, want := CyclesIn(1.0), Cycle(8e8); got != want {
+		t.Fatalf("CyclesIn(1) = %d, want %d", got, want)
+	}
+	if got := CyclesIn(0); got != 0 {
+		t.Fatalf("CyclesIn(0) = %d, want 0", got)
+	}
+	// Truncation, not rounding: 1.9 cycles' worth of seconds is 1 cycle.
+	if got, want := CyclesIn(1.9*CyclePeriodSeconds), Cycle(1); got != want {
+		t.Fatalf("CyclesIn(1.9 periods) = %d, want %d", got, want)
+	}
+	// Round trip through Seconds is exact for cycle-aligned durations.
+	for _, c := range []Cycle{1, 1000, 8e8} {
+		if got := CyclesIn(Seconds(c)); got != c {
+			t.Fatalf("CyclesIn(Seconds(%d)) = %d, want %d", c, got, c)
+		}
+	}
+}
+
 func TestGBPerSecond(t *testing.T) {
 	// 64 B/cycle sustained = 51.2 GB/s (the DDR4-1600 DIMM-internal peak).
 	// The division order differs from BytesPerCycleToGBs, so allow one ulp

@@ -32,6 +32,20 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
+// FactStore is the cross-package fact plumbing the driver may supply.
+// Facts attach analyzer knowledge to package-level objects and survive
+// package boundaries: the standalone driver shares one store across a
+// dependency-ordered run, the unitchecker driver serializes it through go
+// vet's .vetx files. The canonical implementation is dataflow.Store.
+type FactStore interface {
+	// ExportFact records fact (a JSON-encodable value) for obj under the
+	// analyzer's namespace.
+	ExportFact(analyzer string, obj types.Object, fact any) error
+	// ImportFact decodes the analyzer's fact for obj into fact (a
+	// pointer) and reports whether one was found.
+	ImportFact(analyzer string, obj types.Object, fact any) bool
+}
+
 // Pass carries one package's loaded state through an analyzer.
 type Pass struct {
 	// Analyzer is the analyzer being applied.
@@ -52,6 +66,26 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report records one diagnostic.
 	Report func(Diagnostic)
+	// Facts is the run's cross-package fact store; nil when the driver
+	// supplies none (fact exports become no-ops, imports find nothing).
+	Facts FactStore
+}
+
+// ExportObjectFact records fact for obj under this pass's analyzer name.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) error {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.ExportFact(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact decodes this analyzer's fact for obj into fact (a
+// pointer), reporting whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact any) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.ImportFact(p.Analyzer.Name, obj, fact)
 }
 
 // Diagnostic is one finding at a source position.

@@ -24,6 +24,7 @@ import (
 	"testing"
 
 	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/dataflow"
 	"beacon/tools/beaconlint/directive"
 	"beacon/tools/beaconlint/load"
 )
@@ -31,8 +32,8 @@ import (
 // fixtureImports are the import paths fixture packages may use. Export
 // data is resolved once per test binary.
 var fixtureImports = []string{
-	"crypto/rand", "fmt", "io", "math/rand", "math/rand/v2", "os",
-	"sort", "strings", "sync", "testing", "time",
+	"crypto/rand", "errors", "fmt", "io", "math/rand", "math/rand/v2",
+	"os", "sort", "strings", "sync", "testing", "time",
 	"beacon/internal/obs", "beacon/internal/sim",
 }
 
@@ -85,10 +86,14 @@ func Run(t *testing.T, cfg Config) {
 		t.Fatalf("analysistest: loading %s: %v", cfg.Dir, err)
 	}
 
+	// A fresh fact store per fixture run: fact-driven analyzers (unitflow,
+	// seedflow) see their own package-local exports but nothing from other
+	// fixtures.
+	facts := dataflow.NewStore()
 	var diags []analysis.Diagnostic
 	for _, a := range cfg.Analyzers {
 		a := a
-		pass := pkg.Pass(a, func(d analysis.Diagnostic) {
+		pass := pkg.Pass(a, facts, func(d analysis.Diagnostic) {
 			d.Analyzer = a.Name
 			diags = append(diags, d)
 		})

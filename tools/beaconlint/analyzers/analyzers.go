@@ -4,22 +4,28 @@ package analyzers
 import (
 	"beacon/tools/beaconlint/analysis"
 	"beacon/tools/beaconlint/analyzers/cycleclock"
+	"beacon/tools/beaconlint/analyzers/errwrap"
 	"beacon/tools/beaconlint/analyzers/floatacc"
 	"beacon/tools/beaconlint/analyzers/goroutinescope"
 	"beacon/tools/beaconlint/analyzers/maporder"
 	"beacon/tools/beaconlint/analyzers/metricname"
 	"beacon/tools/beaconlint/analyzers/nodeterminism"
+	"beacon/tools/beaconlint/analyzers/seedflow"
+	"beacon/tools/beaconlint/analyzers/unitflow"
 )
 
 // All returns the full suite in deterministic order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		cycleclock.Analyzer,
+		errwrap.Analyzer,
 		floatacc.Analyzer,
 		goroutinescope.Analyzer,
 		maporder.Analyzer,
 		metricname.Analyzer,
 		nodeterminism.Analyzer,
+		seedflow.Analyzer,
+		unitflow.Analyzer,
 	}
 }
 

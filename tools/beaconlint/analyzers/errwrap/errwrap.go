@@ -1,0 +1,179 @@
+// Package errwrap enforces sentinel-error discipline at comparison and
+// wrapping sites.
+//
+// The repository's public API matches errors programmatically through
+// sentinels (beacon.ErrBadConfig, trace.ErrCodec, wcache.ErrCorrupt, ...)
+// that travel through %w wrapping layers. That contract has two
+// compile-time-checkable failure modes:
+//
+//   - comparing against a sentinel with == or != (including switch
+//     cases): a wrapped sentinel never compares equal — use
+//     errors.Is(err, pkg.ErrFoo);
+//   - passing a sentinel to fmt.Errorf through %v or %s: the sentinel's
+//     text survives but its identity is erased, so downstream errors.Is
+//     stops matching — use %w.
+//
+// A sentinel is any package-level variable whose type implements error.
+// Comparisons against nil are exempt (nil checks are not identity
+// matches).
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"beacon/tools/beaconlint/analysis"
+)
+
+// Analyzer is the errwrap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "require errors.Is for sentinel comparisons and %w for sentinel wrapping",
+	Run:  run,
+}
+
+// errorInterface is the error method set, for types.Implements.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				checkComparison(pass, n.OpPos, n.X, n.Y)
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(info.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinel(info, e); s != nil {
+							pass.Reportf(e.Pos(), "switch case compares error against sentinel %s by identity; a wrapped %s never matches — use if errors.Is(err, %s)", s.Name(), s.Name(), s.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags err ==/!= sentinel (either side).
+func checkComparison(pass *analysis.Pass, opPos token.Pos, x, y ast.Expr) {
+	info := pass.TypesInfo
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		s := sentinel(info, pair[0])
+		if s == nil {
+			continue
+		}
+		other := pair[1]
+		if isNil(info, other) || !isErrorType(info.TypeOf(other)) {
+			continue
+		}
+		pass.Reportf(opPos, "error compared against sentinel %s with ==/!=; a sentinel wrapped with %%w never compares equal — use errors.Is", s.Name())
+		return
+	}
+}
+
+// checkErrorf flags sentinels flowing through fmt.Errorf %v/%s verbs.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := analysis.CalleeFunc(info, call)
+	if !analysis.IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[ast.Unparen(call.Args[0])]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	args := call.Args[1:]
+	argIdx := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		// Flags, width, precision; '*' consumes an argument.
+		for j < len(format) {
+			c := format[j]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				(c >= '1' && c <= '9') || c == '.' {
+				j++
+				continue
+			}
+			if c == '*' {
+				argIdx++
+				j++
+				continue
+			}
+			break
+		}
+		if j >= len(format) {
+			break
+		}
+		verb := format[j]
+		i = j
+		if verb == '%' {
+			continue
+		}
+		if argIdx < len(args) && (verb == 'v' || verb == 's') {
+			if s := sentinel(info, args[argIdx]); s != nil {
+				pass.Reportf(args[argIdx].Pos(), "sentinel %s passed to fmt.Errorf through %%%c; its identity is erased and errors.Is stops matching — wrap with %%w", s.Name(), verb)
+			}
+		}
+		argIdx++
+	}
+}
+
+// sentinel resolves e to a package-level error variable, or nil.
+func sentinel(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isErrorType reports whether t implements error (including the error
+// interface itself).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && (b.Kind() == types.Invalid || b.Kind() == types.UntypedNil) {
+		return false
+	}
+	return types.Implements(t, errorInterface) || types.Implements(types.NewPointer(t), errorInterface)
+}
+
+// isNil reports whether e is the untyped nil.
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,260 @@
+// Package seedflow enforces seed provenance: every RNG seed must derive
+// from run/point identity — config fields, identity hashes, constants,
+// parameters — or byte-determinism dies.
+//
+// The repository's reproducibility contract (DESIGN.md §4) hangs on seeds
+// being functions of *what* is simulated, never of *how the sweep is
+// arranged*: internal/calib derives every point's seed from the suite
+// seed plus the point's own coordinates precisely so that adding a size
+// to an axis cannot shift another curve, and the fault injector keys
+// every draw by (seed, component, cycle, index) for the same reason. The
+// analyzer finds seeds that violate it:
+//
+//   - a seed derived from the index of a range over a slice or array — a
+//     position, not an identity; it shifts when the sweep's composition
+//     changes (derive from the element, or hash the point's coordinates
+//     like calib.pointSeed);
+//   - a seed derived from a variable written inside a range over a map
+//     (the classic loop counter): its value depends on map iteration
+//     order;
+//   - a seed derived from ambient state (wall clock, process identity,
+//     global randomness) — redundant with nodeterminism in library code
+//     but reported here too so the message names the seed.
+//
+// Seed sinks are sim.NewRNG's argument, any call argument whose parameter
+// is integer-typed and named "seed"/"...Seed", any composite-literal
+// field so named, and — through the dataflow facts layer — any argument
+// of a function known (cross-package) to forward that parameter into one
+// of the above.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/dataflow"
+)
+
+// Analyzer is the seedflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "require RNG seeds to flow from config, point identity, or constants",
+	Run:  run,
+}
+
+const simPkg = "beacon/internal/sim"
+
+// SeedFact marks a function that forwards parameters into an RNG seed;
+// callers' arguments at those positions are seed sinks too.
+type SeedFact struct {
+	// Params are the forwarded parameter indices, sorted.
+	Params []int `json:"p"`
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	indexes map[*ast.FuncDecl]*dataflow.FuncIndex
+	// local mirrors exported SeedFacts for same-package callees.
+	local map[*types.Func][]int
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		indexes: map[*ast.FuncDecl]*dataflow.FuncIndex{},
+		local:   map[*types.Func][]int{},
+	}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.indexes[fd] = dataflow.IndexFunc(pass.TypesInfo, fd.Type, fd.Body)
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Phase 1: compute and export seed-forwarding facts for this
+	// package's functions (sinks here are name-based and cross-package
+	// fact-based, so A->sink chains resolve; same-package A->B->sink
+	// chains resolve through c.local on the checking phase).
+	for _, fd := range decls {
+		c.exportForwarding(fd)
+	}
+	// Phase 2: check every sink argument's provenance.
+	for _, fd := range decls {
+		idx := c.indexes[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			for _, sink := range c.sinkArgs(n) {
+				c.checkSeed(idx, sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sink is one expression that becomes an RNG seed.
+type sink struct {
+	expr ast.Expr
+	// what names the sink for diagnostics ("sim.NewRNG seed", "field
+	// Seed of fault.Config").
+	what string
+}
+
+// sinkArgs returns the seed expressions rooted at n.
+func (c *checker) sinkArgs(n ast.Node) []sink {
+	info := c.pass.TypesInfo
+	var out []sink
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		fn := analysis.CalleeFunc(info, n)
+		if fn == nil {
+			return nil
+		}
+		if analysis.IsPkgFunc(fn, simPkg, "NewRNG") && len(n.Args) == 1 {
+			return []sink{{expr: n.Args[0], what: "sim.NewRNG seed"}}
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		forwarded := map[int]bool{}
+		if idxs, ok := c.local[fn]; ok {
+			for _, i := range idxs {
+				forwarded[i] = true
+			}
+		} else {
+			var fact SeedFact
+			if c.pass.ImportObjectFact(fn, &fact) {
+				for _, i := range fact.Params {
+					forwarded[i] = true
+				}
+			}
+		}
+		for i, arg := range n.Args {
+			pi := i
+			if sig.Variadic() && pi >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if pi < 0 || pi >= sig.Params().Len() {
+				continue
+			}
+			param := sig.Params().At(pi)
+			if seedParam(param) || forwarded[pi] {
+				out = append(out, sink{expr: arg, what: "seed parameter " + quoteName(param.Name()) + " of " + fn.Name()})
+			}
+		}
+	case *ast.CompositeLit:
+		t := info.TypeOf(n)
+		if t == nil {
+			return nil
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if _, ok := t.Underlying().(*types.Struct); !ok {
+			return nil
+		}
+		for _, el := range n.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || !seedName(key.Name) {
+				continue
+			}
+			if obj := info.Uses[key]; obj != nil && !integer(obj.Type()) {
+				continue
+			}
+			out = append(out, sink{expr: kv.Value, what: "seed field " + key.Name})
+		}
+	}
+	return out
+}
+
+// exportForwarding records which of fd's parameters flow into seed sinks.
+func (c *checker) exportForwarding(fd *ast.FuncDecl) {
+	fn, _ := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	idx := c.indexes[fd]
+	params := map[int]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		for _, sink := range c.sinkArgs(n) {
+			for _, src := range idx.Sources(sink.expr) {
+				if src.Kind == dataflow.SrcParam {
+					params[src.Param] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(params) == 0 {
+		return
+	}
+	idxs := make([]int, 0, len(params))
+	for i := range params {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	c.local[fn] = idxs
+	if err := c.pass.ExportObjectFact(fn, SeedFact{Params: idxs}); err != nil {
+		c.pass.Reportf(fd.Pos(), "seedflow: exporting fact: %v", err)
+	}
+}
+
+// checkSeed walks the seed expression back to its roots and reports the
+// forbidden ones.
+func (c *checker) checkSeed(idx *dataflow.FuncIndex, s sink) {
+	seen := map[string]bool{}
+	for _, src := range idx.Sources(s.expr) {
+		var msg string
+		switch src.Kind {
+		case dataflow.SrcRangeIndex:
+			msg = s.what + " derives from range index " + quoteName(src.Desc) + ": a position, not an identity — it shifts when the collection's composition changes; seed from the element or a point-identity hash instead"
+		case dataflow.SrcMapOrdered:
+			msg = s.what + " derives from " + quoteName(src.Desc) + ", which is written under map iteration; its value depends on map order — seed from the map key or a config field instead"
+		case dataflow.SrcAmbient:
+			msg = s.what + " derives from ambient " + src.Desc + "; seeds must flow from config fields, point-identity hashes, or constants"
+		default:
+			continue
+		}
+		if seen[msg] {
+			continue
+		}
+		seen[msg] = true
+		c.pass.Reportf(s.expr.Pos(), "%s", msg)
+	}
+}
+
+// seedParam reports whether param is an integer parameter named as a seed.
+func seedParam(param *types.Var) bool {
+	return seedName(param.Name()) && integer(param.Type())
+}
+
+// seedName matches "seed", "Seed", and suffixed forms (FaultSeed).
+func seedName(name string) bool {
+	return name == "seed" || name == "Seed" || strings.HasSuffix(name, "Seed")
+}
+
+// integer reports whether t's underlying type is an integer.
+func integer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// quoteName wraps an identifier for a diagnostic.
+func quoteName(s string) string {
+	if s == "" {
+		return "value"
+	}
+	return "\"" + s + "\""
+}

@@ -1,0 +1,517 @@
+// Package unitflow enforces unit safety across the simulator's physics.
+//
+// The repository's quantities live in five dimensions — cycles, seconds,
+// bytes, bytes-per-cycle, and GB/s — and every conversion between cycles
+// and seconds is confined to internal/sim/time.go so the clock can never
+// silently diverge between packages (DESIGN.md §4d). The analyzer tags
+// expressions with units from three evidence sources, in priority order:
+//
+//   - types: anything typed beacon/internal/sim.Cycle is cycles;
+//   - calls: sim.Seconds/SecondsOf return seconds, sim.GBPerSecond and
+//     sim.BytesPerCycleToGBs return GB/s, plus cross-package result-unit
+//     facts computed from function bodies by the dataflow layer;
+//   - names: the repository's naming conventions (SetupSeconds,
+//     FAWStallCycles, MigratedBytes, migrationBytesPerCycle, GBPerSec)
+//     applied to fields, constants, locals, and parameters.
+//
+// Units propagate through local assignment chains (the dataflow
+// assignment graph), additive arithmetic, and the two products the
+// lattice can name (bytes/cycle x cycles, bytes / bytes-per-cycle). The
+// analyzer reports:
+//
+//   - cross-unit + - or comparison (cycles compared against seconds);
+//   - a value of one unit assigned to a variable, field, or composite
+//     literal key named for another;
+//   - a value of one unit passed to a parameter named or typed for
+//     another (cycles into a seconds parameter);
+//   - any reference to sim.CyclePeriodSeconds outside package
+//     beacon/internal/sim — raw cycle<->seconds math belongs in
+//     internal/sim/time.go; call sim.Seconds, sim.SecondsOf or
+//     sim.CyclesIn instead.
+package unitflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/dataflow"
+)
+
+// Analyzer is the unitflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitflow",
+	Doc:  "forbid cross-unit arithmetic and raw cycle<->seconds conversions outside internal/sim/time.go",
+	Run:  run,
+}
+
+const simPkg = "beacon/internal/sim"
+
+// UnitFact records the result units of a function, inferred from its body
+// by the defining package's pass and consumed at call sites in importing
+// packages.
+type UnitFact struct {
+	// Results maps result index to unit name (Unit.String).
+	Results map[int]string `json:"r,omitempty"`
+}
+
+// checker carries one package's pass state.
+type checker struct {
+	pass *analysis.Pass
+	// indexes is the per-function assignment graph.
+	indexes map[*ast.FuncDecl]*dataflow.FuncIndex
+	// local holds result units for this package's own functions, so
+	// same-package call sites resolve without the fact store.
+	local map[*types.Func]UnitFact
+	// depth bounds exprUnit recursion through assignment chains.
+	depth int
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		indexes: map[*ast.FuncDecl]*dataflow.FuncIndex{},
+		local:   map[*types.Func]UnitFact{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			c.indexes[fd] = dataflow.IndexFunc(pass.TypesInfo, fd.Type, fd.Body)
+		}
+	}
+	// Phase 1: infer result units from bodies and export them as facts,
+	// so importing packages (and phase 2 below) see through calls.
+	// Iteration goes by file order, not over the index map, so any
+	// diagnostics keep a deterministic order.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				c.inferResults(fd, c.indexes[fd])
+			}
+		}
+	}
+	// Phase 2: check arithmetic, assignments, composite literals, call
+	// arguments, and conversion locality.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				c.checkBody(fd)
+				continue
+			}
+			// Package-level declarations have no assignment graph.
+			ast.Inspect(decl, func(n ast.Node) bool {
+				c.checkNode(nil, n)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// inferResults computes fn's result units from its return statements and
+// exports a fact when any are known.
+func (c *checker) inferResults(fd *ast.FuncDecl, idx *dataflow.FuncIndex) {
+	fn, _ := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil || fd.Body == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	n := sig.Results().Len()
+	units := make([]dataflow.Unit, n)
+	conflict := make([]bool, n)
+	// Named results and the function's own name seed the inference.
+	for i := 0; i < n; i++ {
+		r := sig.Results().At(i)
+		if dataflow.Numeric(r.Type()) && r.Name() != "" {
+			units[i] = dataflow.NameUnit(r.Name())
+		}
+	}
+	if n == 1 && units[0] == dataflow.UnitUnknown && dataflow.Numeric(sig.Results().At(0).Type()) {
+		units[0] = dataflow.NameUnit(fn.Name())
+	}
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false // a literal's returns are its own
+		}
+		ret, ok := node.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != n {
+			return true
+		}
+		for i, res := range ret.Results {
+			u := c.exprUnit(idx, res)
+			if u == dataflow.UnitUnknown {
+				continue
+			}
+			switch units[i] {
+			case dataflow.UnitUnknown:
+				units[i] = u
+			case u:
+			default:
+				conflict[i] = true
+			}
+		}
+		return true
+	})
+	fact := UnitFact{Results: map[int]string{}}
+	for i, u := range units {
+		if u != dataflow.UnitUnknown && !conflict[i] && dataflow.Numeric(sig.Results().At(i).Type()) {
+			fact.Results[i] = u.String()
+		}
+	}
+	if len(fact.Results) == 0 {
+		return
+	}
+	c.local[fn] = fact
+	if err := c.pass.ExportObjectFact(fn, fact); err != nil {
+		// Encoding a map[int]string cannot fail; surface anyway.
+		c.pass.Reportf(fd.Pos(), "unitflow: exporting fact: %v", err)
+	}
+}
+
+// checkBody walks one function body with its assignment graph.
+func (c *checker) checkBody(fd *ast.FuncDecl) {
+	idx := c.indexes[fd]
+	ast.Inspect(fd, func(n ast.Node) bool {
+		c.checkNode(idx, n)
+		return true
+	})
+}
+
+// checkNode applies every unitflow rule that anchors at n.
+func (c *checker) checkNode(idx *dataflow.FuncIndex, n ast.Node) {
+	info := c.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		switch n.Op {
+		case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			if !dataflow.Numeric(info.TypeOf(n.X)) || !dataflow.Numeric(info.TypeOf(n.Y)) {
+				return
+			}
+			ux, uy := c.exprUnit(idx, n.X), c.exprUnit(idx, n.Y)
+			if _, ok := dataflow.AddUnits(ux, uy); !ok {
+				verb := "mixed in arithmetic"
+				if n.Op != token.ADD && n.Op != token.SUB {
+					verb = "compared"
+				}
+				c.pass.Reportf(n.OpPos, "%s and %s %s; convert through internal/sim/time.go first", ux, uy, verb)
+			}
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i := range n.Lhs {
+			lu := c.declaredUnit(n.Lhs[i])
+			if lu == dataflow.UnitUnknown {
+				continue
+			}
+			ru := c.exprUnit(idx, n.Rhs[i])
+			if ru != dataflow.UnitUnknown && ru != lu {
+				c.pass.Reportf(n.Rhs[i].Pos(), "%s value assigned to %s-named %s", ru, lu, exprLabel(n.Lhs[i]))
+			}
+		}
+	case *ast.CompositeLit:
+		t := info.TypeOf(n)
+		if t == nil {
+			return
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if _, ok := t.Underlying().(*types.Struct); !ok {
+			return
+		}
+		for _, el := range n.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lu := c.declaredUnit(key)
+			if lu == dataflow.UnitUnknown {
+				continue
+			}
+			ru := c.exprUnit(idx, kv.Value)
+			if ru != dataflow.UnitUnknown && ru != lu {
+				c.pass.Reportf(kv.Value.Pos(), "%s value assigned to %s-named field %s", ru, lu, key.Name)
+			}
+		}
+	case *ast.CallExpr:
+		c.checkCall(idx, n)
+	case *ast.Ident:
+		// Covers both spellings: the Sel of a qualified reference is
+		// itself visited as an Ident by the inspection.
+		c.checkPeriodRef(n, info.Uses[n])
+	}
+}
+
+// checkPeriodRef flags references to sim.CyclePeriodSeconds outside
+// package sim: the raw constant is the one escape from unit discipline,
+// and internal/sim/time.go is its only sanctioned home.
+func (c *checker) checkPeriodRef(at *ast.Ident, obj types.Object) {
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if obj.Pkg().Path() != simPkg || obj.Name() != "CyclePeriodSeconds" {
+		return
+	}
+	if c.pass.PkgPath == simPkg || c.pass.PkgPath == simPkg+"_test" {
+		return
+	}
+	c.pass.Reportf(at.Pos(), "raw cycle<->seconds conversion via sim.CyclePeriodSeconds outside internal/sim/time.go; use sim.Seconds, sim.SecondsOf or sim.CyclesIn")
+}
+
+// checkCall compares argument units against parameter units (declared by
+// type, by name convention, or — for same-module callees — by fact).
+func (c *checker) checkCall(idx *dataflow.FuncIndex, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi < 0 || pi >= sig.Params().Len() {
+			continue
+		}
+		param := sig.Params().At(pi)
+		pu := c.paramUnit(param)
+		if pu == dataflow.UnitUnknown {
+			continue
+		}
+		au := c.exprUnit(idx, arg)
+		if au != dataflow.UnitUnknown && au != pu {
+			c.pass.Reportf(arg.Pos(), "%s value passed to %s parameter %q of %s", au, pu, param.Name(), fn.Name())
+		}
+	}
+}
+
+// paramUnit resolves a parameter's declared unit: the sim.Cycle type
+// first, then the name convention.
+func (c *checker) paramUnit(param *types.Var) dataflow.Unit {
+	if u := typeUnit(param.Type()); u != dataflow.UnitUnknown {
+		return u
+	}
+	if !dataflow.Numeric(param.Type()) {
+		return dataflow.UnitUnknown
+	}
+	return dataflow.NameUnit(param.Name())
+}
+
+// declaredUnit is the unit an lvalue claims by type or name — never by
+// dataflow, so assignment checks compare claim against evidence.
+func (c *checker) declaredUnit(e ast.Expr) dataflow.Unit {
+	info := c.pass.TypesInfo
+	e = ast.Unparen(e)
+	if u := typeUnit(info.TypeOf(e)); u != dataflow.UnitUnknown {
+		return u
+	}
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return dataflow.UnitUnknown
+	}
+	if !dataflow.Numeric(info.TypeOf(e)) {
+		return dataflow.UnitUnknown
+	}
+	return dataflow.NameUnit(name)
+}
+
+// maxDepth bounds unit propagation through assignment chains.
+const maxDepth = 24
+
+// exprUnit computes the unit of e, consulting types, known conversion
+// helpers, facts, names, local assignment chains, and unit arithmetic.
+func (c *checker) exprUnit(idx *dataflow.FuncIndex, e ast.Expr) dataflow.Unit {
+	if c.depth >= maxDepth {
+		return dataflow.UnitUnknown
+	}
+	c.depth++
+	defer func() { c.depth-- }()
+
+	info := c.pass.TypesInfo
+	e = ast.Unparen(e)
+	if e == nil {
+		return dataflow.UnitUnknown
+	}
+	// Constants are unitless: 5 can be cycles or bytes as context needs.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return dataflow.UnitUnknown
+	}
+	if u := typeUnit(info.TypeOf(e)); u != dataflow.UnitUnknown {
+		return u
+	}
+
+	switch e := e.(type) {
+	case *ast.Ident:
+		if u := c.namedUnit(e, e.Name); u != dataflow.UnitUnknown {
+			return u
+		}
+		return c.assignedUnit(idx, e)
+	case *ast.SelectorExpr:
+		return c.namedUnit(e.Sel, e.Sel.Name)
+	case *ast.CallExpr:
+		return c.callUnit(idx, e)
+	case *ast.BinaryExpr:
+		if !dataflow.Numeric(info.TypeOf(e.X)) || !dataflow.Numeric(info.TypeOf(e.Y)) {
+			return dataflow.UnitUnknown
+		}
+		ux, uy := c.exprUnit(idx, e.X), c.exprUnit(idx, e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			u, _ := dataflow.AddUnits(ux, uy)
+			return u
+		case token.MUL:
+			return dataflow.MulUnit(ux, uy)
+		case token.QUO:
+			return dataflow.QuoUnit(ux, uy)
+		}
+		return dataflow.UnitUnknown
+	case *ast.UnaryExpr:
+		return c.exprUnit(idx, e.X)
+	case *ast.IndexExpr:
+		// An element of a unit-named collection carries the unit
+		// (SpaceBytes[occ] is bytes) when the element type is numeric.
+		if !dataflow.Numeric(info.TypeOf(e)) {
+			return dataflow.UnitUnknown
+		}
+		switch base := ast.Unparen(e.X).(type) {
+		case *ast.Ident:
+			return dataflow.NameUnit(base.Name)
+		case *ast.SelectorExpr:
+			return dataflow.NameUnit(base.Sel.Name)
+		}
+	}
+	return dataflow.UnitUnknown
+}
+
+// namedUnit applies the naming convention to a resolved identifier when
+// its type is numeric.
+func (c *checker) namedUnit(id *ast.Ident, name string) dataflow.Unit {
+	t := c.pass.TypesInfo.TypeOf(id)
+	if !dataflow.Numeric(t) {
+		return dataflow.UnitUnknown
+	}
+	return dataflow.NameUnit(name)
+}
+
+// assignedUnit propagates a unit through a local's assignment chain: all
+// known assignment units must agree.
+func (c *checker) assignedUnit(idx *dataflow.FuncIndex, id *ast.Ident) dataflow.Unit {
+	if idx == nil {
+		return dataflow.UnitUnknown
+	}
+	info := c.pass.TypesInfo
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return dataflow.UnitUnknown
+	}
+	u := dataflow.UnitUnknown
+	for _, rhs := range idx.Assignments(obj) {
+		ru := c.exprUnit(idx, rhs)
+		if ru == dataflow.UnitUnknown {
+			continue
+		}
+		if u == dataflow.UnitUnknown {
+			u = ru
+			continue
+		}
+		if u != ru {
+			return dataflow.UnitUnknown // conflicting writes: give up
+		}
+	}
+	return u
+}
+
+// callUnit resolves the unit of a call's (single) result.
+func (c *checker) callUnit(idx *dataflow.FuncIndex, call *ast.CallExpr) dataflow.Unit {
+	info := c.pass.TypesInfo
+	// Conversions are transparent: int64(doneCycles) is still cycles.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return c.exprUnit(idx, call.Args[0])
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return dataflow.UnitUnknown
+	}
+	// The sanctioned conversion helpers in internal/sim/time.go.
+	if fn.Pkg() != nil && fn.Pkg().Path() == simPkg {
+		switch fn.Name() {
+		case "Seconds", "SecondsOf":
+			return dataflow.UnitSeconds
+		case "GBPerSecond", "BytesPerCycleToGBs":
+			return dataflow.UnitGBPerSec
+		case "CyclesIn":
+			return dataflow.UnitCycles
+		}
+	}
+	// Facts: body-derived result units, local first, then cross-package.
+	var fact UnitFact
+	found := false
+	if f, ok := c.local[fn]; ok {
+		fact, found = f, true
+	} else if c.pass.ImportObjectFact(fn, &fact) {
+		found = len(fact.Results) > 0
+	}
+	if found {
+		if s, ok := fact.Results[0]; ok {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Results().Len() == 1 {
+				return dataflow.ParseUnit(s)
+			}
+		}
+	}
+	// Name convention on the callee (r.Seconds(), t.nodeBytes()).
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Results().Len() == 1 && dataflow.Numeric(sig.Results().At(0).Type()) {
+		return dataflow.NameUnit(fn.Name())
+	}
+	return dataflow.UnitUnknown
+}
+
+// typeUnit maps the sim.Cycle named type (and its Cycles alias) to cycles.
+func typeUnit(t types.Type) dataflow.Unit {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return dataflow.UnitUnknown
+	}
+	obj := named.Obj()
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == simPkg && obj.Name() == "Cycle" {
+		return dataflow.UnitCycles
+	}
+	return dataflow.UnitUnknown
+}
+
+// exprLabel renders an lvalue for diagnostics.
+func exprLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "expression"
+}

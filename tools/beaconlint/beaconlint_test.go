@@ -8,11 +8,14 @@ import (
 	"beacon/tools/beaconlint/analysistest"
 	"beacon/tools/beaconlint/analyzers"
 	"beacon/tools/beaconlint/analyzers/cycleclock"
+	"beacon/tools/beaconlint/analyzers/errwrap"
 	"beacon/tools/beaconlint/analyzers/floatacc"
 	"beacon/tools/beaconlint/analyzers/goroutinescope"
 	"beacon/tools/beaconlint/analyzers/maporder"
 	"beacon/tools/beaconlint/analyzers/metricname"
 	"beacon/tools/beaconlint/analyzers/nodeterminism"
+	"beacon/tools/beaconlint/analyzers/seedflow"
+	"beacon/tools/beaconlint/analyzers/unitflow"
 )
 
 // TestAnalyzers runs every analyzer against its golden fixture. Each
@@ -41,6 +44,14 @@ func TestAnalyzers(t *testing.T) {
 		{"floatacc", "beacon/fixtures/facc", []*analysis.Analyzer{floatacc.Analyzer}, false},
 		// Metric-name charset at obs.Registry registration sites.
 		{"metricname", "beacon/fixtures/mname", []*analysis.Analyzer{metricname.Analyzer}, false},
+		// Cross-unit arithmetic, mis-unit assignments and arguments, raw
+		// CyclePeriodSeconds references outside internal/sim.
+		{"unitflow", "beacon/fixtures/uflow", []*analysis.Analyzer{unitflow.Analyzer}, false},
+		// Seeds derived from range positions, map-order counters, or
+		// ambient state; forwarding facts make callers' arguments sinks.
+		{"seedflow", "beacon/fixtures/sflow", []*analysis.Analyzer{seedflow.Analyzer}, false},
+		// Sentinel identity comparisons and %v/%s sentinel wrapping.
+		{"errwrap", "beacon/fixtures/ewrap", []*analysis.Analyzer{errwrap.Analyzer}, false},
 		// //beaconlint:allow: reasoned directives suppress; reasonless,
 		// stale, unknown-analyzer, and empty directives are diagnostics.
 		{"directives", "beacon/fixtures/direct", analyzers.All(), true},

@@ -1,0 +1,433 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SourceKind classifies the roots a backward dataflow walk can reach.
+type SourceKind int
+
+// The root kinds, from benign to forbidden-for-seeds.
+const (
+	// SrcConst is a compile-time constant.
+	SrcConst SourceKind = iota
+	// SrcStable is a stable identity: a struct field read (config), a
+	// package-level var/const, or a range element value.
+	SrcStable
+	// SrcParam is a parameter of the enclosing function; Param holds its
+	// index. Callers are responsible for what they pass.
+	SrcParam
+	// SrcCall is the result of a function or method call (hash/derivation
+	// functions); the call's arguments are walked separately.
+	SrcCall
+	// SrcRangeIndex is the index variable of a range over a slice or
+	// array: a position, not an identity — it shifts when the collection's
+	// composition changes.
+	SrcRangeIndex
+	// SrcMapOrdered is a variable written inside the body of a range over
+	// a map while declared outside it (the classic loop counter): its
+	// value depends on map iteration order.
+	SrcMapOrdered
+	// SrcAmbient is a call into ambient environment state (wall clock,
+	// process identity, global randomness).
+	SrcAmbient
+	// SrcUnknown is anything the walk cannot classify.
+	SrcUnknown
+)
+
+// Source is one root reached by the backward walk.
+type Source struct {
+	// Kind classifies the root.
+	Kind SourceKind
+	// Pos anchors it in the syntax.
+	Pos token.Pos
+	// Obj is the object involved, when there is one.
+	Obj types.Object
+	// Param is the parameter index for SrcParam.
+	Param int
+	// Desc is a short human description for diagnostics.
+	Desc string
+}
+
+// assignment is one recorded write to an object.
+type assignment struct {
+	// rhs is the assigned expression; nil for ++/--/op= self-updates.
+	rhs ast.Expr
+	// underMapRange marks writes lexically inside a map-range body.
+	underMapRange bool
+}
+
+// rangeRole records that an object is a range-clause variable.
+type rangeRole struct {
+	// index is true for the first variable of a slice/array/string range
+	// (a position); false for element values and map keys/values.
+	index bool
+	// overMap is true when the ranged operand is a map.
+	overMap bool
+	// pos is the range statement's position.
+	pos token.Pos
+}
+
+// FuncIndex is the assignment graph of one function body: every write to
+// every local, parameter indices, and range-clause roles. Analyzers build
+// one per function and run backward walks (Sources) against it.
+type FuncIndex struct {
+	info    *types.Info
+	params  map[types.Object]int
+	assigns map[types.Object][]assignment
+	ranges  map[types.Object]rangeRole
+}
+
+// IndexFunc builds the assignment graph for one function declaration or
+// literal. decl is the *ast.FuncDecl or *ast.FuncLit; typ is its
+// *ast.FuncType; body may be nil (externally defined functions index
+// empty).
+func IndexFunc(info *types.Info, typ *ast.FuncType, body *ast.BlockStmt) *FuncIndex {
+	idx := &FuncIndex{
+		info:    info,
+		params:  map[types.Object]int{},
+		assigns: map[types.Object][]assignment{},
+		ranges:  map[types.Object]rangeRole{},
+	}
+	if typ != nil && typ.Params != nil {
+		i := 0
+		for _, field := range typ.Params.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					idx.params[obj] = i
+				}
+				i++
+			}
+		}
+	}
+	if body == nil {
+		return idx
+	}
+	idx.walk(body, 0)
+	return idx
+}
+
+// walk records assignments and range roles; mapDepth counts enclosing
+// map-range bodies.
+func (idx *FuncIndex) walk(n ast.Node, mapDepth int) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0] // multi-value: attribute the whole call
+			}
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				rhs = nil // op=: a self-update, like ++
+			}
+			idx.record(lhs, rhs, mapDepth > 0)
+		}
+		for _, rhs := range n.Rhs {
+			idx.walk(rhs, mapDepth)
+		}
+		return
+	case *ast.IncDecStmt:
+		idx.record(n.X, nil, mapDepth > 0)
+		return
+	case *ast.RangeStmt:
+		t := idx.info.TypeOf(n.X)
+		overMap := false
+		indexLike := false
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				overMap = true
+			case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+				// Slices, arrays (incl. *array), strings: the first
+				// variable is a position. Integer ranges (go1.22) also
+				// land here but a 0..n-1 counter has no key variable —
+				// treat its single variable as a value, not a position.
+				if _, isBasic := t.Underlying().(*types.Basic); !isBasic {
+					indexLike = true
+				}
+			}
+		}
+		for vi, v := range []ast.Expr{n.Key, n.Value} {
+			id, ok := v.(*ast.Ident)
+			if !ok || id == nil {
+				continue
+			}
+			obj := idx.info.Defs[id]
+			if obj == nil {
+				obj = idx.info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			idx.ranges[obj] = rangeRole{
+				index:   vi == 0 && indexLike,
+				overMap: overMap,
+				pos:     n.Pos(),
+			}
+		}
+		d := mapDepth
+		if overMap {
+			d++
+		}
+		idx.walk(n.Body, d)
+		if n.X != nil {
+			idx.walk(n.X, mapDepth)
+		}
+		return
+	case *ast.FuncLit:
+		// A nested literal is its own dataflow scope; its writes to
+		// captured variables still count (walked with the same index),
+		// and map-depth resets are deliberately NOT applied: a closure
+		// invoked from a map-range body inherits the order taint only if
+		// the call site is inside one, which this lexical pass cannot
+		// see. Walk it at the current depth.
+		idx.walk(n.Body, mapDepth)
+		return
+	}
+	// Generic traversal for everything else.
+	var children []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil {
+			children = append(children, c)
+		}
+		return false
+	})
+	for _, c := range children {
+		idx.walk(c, mapDepth)
+	}
+}
+
+// record notes a write of rhs to the lvalue expression lhs.
+func (idx *FuncIndex) record(lhs ast.Expr, rhs ast.Expr, underMapRange bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := idx.info.Defs[id]
+	if obj == nil {
+		obj = idx.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	idx.assigns[obj] = append(idx.assigns[obj], assignment{rhs: rhs, underMapRange: underMapRange})
+}
+
+// ParamIndex returns the parameter index of obj, or -1.
+func (idx *FuncIndex) ParamIndex(obj types.Object) int {
+	if i, ok := idx.params[obj]; ok {
+		return i
+	}
+	return -1
+}
+
+// Assignments returns the recorded RHS expressions written to obj
+// (excluding self-updates, whose rhs is nil).
+func (idx *FuncIndex) Assignments(obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	for _, a := range idx.assigns[obj] {
+		if a.rhs != nil {
+			out = append(out, a.rhs)
+		}
+	}
+	return out
+}
+
+// AmbientCall reports whether fn is an ambient-environment source a seed
+// must never derive from. The deny list mirrors nodeterminism's core set;
+// seedflow re-checks it so seed diagnostics name the seed, not just the
+// call.
+func AmbientCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch pkg {
+	case "time":
+		return name == "Now" || name == "Since" || name == "Until"
+	case "os":
+		return name == "Getpid" || name == "Getppid" || name == "Environ" || name == "Getenv" || name == "Hostname"
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return true
+	}
+	return false
+}
+
+// Sources runs the backward walk from e: through local assignment chains,
+// range-clause roles, and call arguments, down to the roots. The walk is
+// bounded by a visited set over objects, so self-referential updates
+// (x = x + 1) terminate.
+func (idx *FuncIndex) Sources(e ast.Expr) []Source {
+	w := &sourceWalk{idx: idx, visited: map[types.Object]bool{}}
+	w.expr(e)
+	return w.out
+}
+
+type sourceWalk struct {
+	idx     *FuncIndex
+	visited map[types.Object]bool
+	out     []Source
+}
+
+func (w *sourceWalk) add(s Source) { w.out = append(w.out, s) }
+
+func (w *sourceWalk) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	e = ast.Unparen(e)
+	info := w.idx.info
+
+	// Any constant-valued expression is a constant root, whatever its
+	// syntax (literal, named constant, constant arithmetic).
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		w.add(Source{Kind: SrcConst, Pos: e.Pos()})
+		return
+	}
+
+	switch e := e.(type) {
+	case *ast.Ident:
+		w.ident(e)
+	case *ast.SelectorExpr:
+		// A field read or a package-qualified name: both stable.
+		if _, ok := info.Selections[e]; ok {
+			w.add(Source{Kind: SrcStable, Pos: e.Pos(), Obj: info.Uses[e.Sel], Desc: "field " + e.Sel.Name})
+			return
+		}
+		w.add(Source{Kind: SrcStable, Pos: e.Pos(), Obj: info.Uses[e.Sel], Desc: e.Sel.Name})
+	case *ast.CallExpr:
+		// A type conversion is transparent.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			for _, arg := range e.Args {
+				w.expr(arg)
+			}
+			return
+		}
+		fn, _ := calleeObject(info, e).(*types.Func)
+		if AmbientCall(fn) {
+			w.add(Source{Kind: SrcAmbient, Pos: e.Pos(), Obj: fn, Desc: ambientDesc(fn)})
+			return
+		}
+		w.add(Source{Kind: SrcCall, Pos: e.Pos(), Obj: fn})
+		// A method's receiver feeds its result as much as the arguments
+		// do: time.Now().UnixNano() roots at time.Now.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if _, isMethod := info.Selections[sel]; isMethod {
+				w.expr(sel.X)
+			}
+		}
+		for _, arg := range e.Args {
+			w.expr(arg)
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.IndexExpr:
+		// The element of a collection is a value; the index contributes
+		// nothing to the element's identity.
+		w.expr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.expr(kv.Value)
+				continue
+			}
+			w.expr(el)
+		}
+	default:
+		w.add(Source{Kind: SrcUnknown, Pos: e.Pos()})
+	}
+}
+
+func (w *sourceWalk) ident(id *ast.Ident) {
+	info := w.idx.info
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		w.add(Source{Kind: SrcUnknown, Pos: id.Pos()})
+		return
+	}
+	if w.visited[obj] {
+		return
+	}
+	w.visited[obj] = true
+
+	if _, ok := obj.(*types.Const); ok {
+		w.add(Source{Kind: SrcConst, Pos: id.Pos(), Obj: obj})
+		return
+	}
+	if i := w.idx.ParamIndex(obj); i >= 0 {
+		w.add(Source{Kind: SrcParam, Pos: id.Pos(), Obj: obj, Param: i})
+		return
+	}
+	// Package-level state is stable identity.
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		w.add(Source{Kind: SrcStable, Pos: id.Pos(), Obj: obj, Desc: obj.Name()})
+		return
+	}
+
+	contributed := false
+	if role, ok := w.idx.ranges[obj]; ok {
+		contributed = true
+		if role.index {
+			w.add(Source{Kind: SrcRangeIndex, Pos: id.Pos(), Obj: obj, Desc: obj.Name()})
+		} else {
+			w.add(Source{Kind: SrcStable, Pos: id.Pos(), Obj: obj, Desc: "range element " + obj.Name()})
+		}
+	}
+	for _, a := range w.idx.assigns[obj] {
+		if a.underMapRange {
+			contributed = true
+			w.add(Source{Kind: SrcMapOrdered, Pos: id.Pos(), Obj: obj, Desc: obj.Name()})
+			continue
+		}
+		if a.rhs != nil {
+			contributed = true
+			w.expr(a.rhs)
+		}
+	}
+	if !contributed {
+		w.add(Source{Kind: SrcUnknown, Pos: id.Pos(), Obj: obj})
+	}
+}
+
+func ambientDesc(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return "ambient call"
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// calleeObject is analysis.Callee without the import cycle: dataflow must
+// not depend on the analysis package (analyzers import both).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

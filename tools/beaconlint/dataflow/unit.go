@@ -1,0 +1,143 @@
+package dataflow
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Unit is the physical-dimension lattice the unitflow analyzer tags
+// expressions with. The simulator's whole physics runs over five
+// dimensions; everything else is Unknown and never flagged.
+type Unit int
+
+// The units, in severity-free declaration order.
+const (
+	UnitUnknown Unit = iota
+	UnitCycles
+	UnitSeconds
+	UnitBytes
+	UnitBytesPerCycle
+	UnitGBPerSec
+)
+
+// String names the unit the way diagnostics spell it.
+func (u Unit) String() string {
+	switch u {
+	case UnitCycles:
+		return "cycles"
+	case UnitSeconds:
+		return "seconds"
+	case UnitBytes:
+		return "bytes"
+	case UnitBytesPerCycle:
+		return "bytes-per-cycle"
+	case UnitGBPerSec:
+		return "GB/s"
+	}
+	return "unknown"
+}
+
+// ParseUnit is the inverse of Unit.String, for decoding serialized facts.
+func ParseUnit(s string) Unit {
+	for _, u := range []Unit{UnitCycles, UnitSeconds, UnitBytes, UnitBytesPerCycle, UnitGBPerSec} {
+		if u.String() == s {
+			return u
+		}
+	}
+	return UnitUnknown
+}
+
+// nameSuffixes maps identifier suffixes to units, longest (most specific)
+// first: "BytesPerCycle" must win over its own "Cycle" tail, "GBPerSec"
+// over "Sec".
+var nameSuffixes = []struct {
+	suffix string
+	unit   Unit
+}{
+	{"GBPerSecond", UnitGBPerSec},
+	{"GBPerSec", UnitGBPerSec},
+	{"GBps", UnitGBPerSec},
+	{"GBs", UnitGBPerSec},
+	{"BytesPerCycle", UnitBytesPerCycle},
+	{"Seconds", UnitSeconds},
+	{"Cycles", UnitCycles},
+	{"Cycle", UnitCycles},
+	{"Bytes", UnitBytes},
+}
+
+// wholeNames maps lowercase whole identifiers to units, for locals named
+// after their dimension (`seconds := ...`).
+var wholeNames = map[string]Unit{
+	"seconds":       UnitSeconds,
+	"secs":          UnitSeconds,
+	"cycles":        UnitCycles,
+	"cycle":         UnitCycles,
+	"bytes":         UnitBytes,
+	"bytesPerCycle": UnitBytesPerCycle,
+	"gbs":           UnitGBPerSec,
+}
+
+// NameUnit infers a unit from an identifier following the repository's
+// naming conventions (SetupSeconds, FAWStallCycles, MigratedBytes,
+// migrationBytesPerCycle, GBPerSec). Whole names win over suffixes:
+// a parameter named "bytesPerCycle" is bytes-per-cycle, not the "Cycle"
+// its tail would suggest.
+func NameUnit(name string) Unit {
+	if u, ok := wholeNames[name]; ok {
+		return u
+	}
+	for _, s := range nameSuffixes {
+		if strings.HasSuffix(name, s.suffix) {
+			return s.unit
+		}
+	}
+	return UnitUnknown
+}
+
+// Numeric reports whether t's underlying type is a basic numeric type —
+// the only types unit tags apply to (a slice named WaitCycles is a
+// collection, not a quantity).
+func Numeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// AddUnits combines operand units under +, -, and comparisons: same known
+// unit stays, one unknown side adopts the known side, and two different
+// known units are incompatible (reported by the second result).
+func AddUnits(x, y Unit) (Unit, bool) {
+	switch {
+	case x == y:
+		return x, true
+	case x == UnitUnknown:
+		return y, true
+	case y == UnitUnknown:
+		return x, true
+	}
+	return UnitUnknown, false
+}
+
+// MulUnit combines operand units under *: the only product the lattice
+// can name is bytes/cycle x cycles = bytes. Everything else — including a
+// known unit times a dimensionless count — leaves the lattice.
+func MulUnit(x, y Unit) Unit {
+	if (x == UnitBytesPerCycle && y == UnitCycles) || (x == UnitCycles && y == UnitBytesPerCycle) {
+		return UnitBytes
+	}
+	return UnitUnknown
+}
+
+// QuoUnit combines operand units under /: bytes/cycles = bytes-per-cycle,
+// bytes / bytes-per-cycle = cycles. Other ratios leave the lattice.
+func QuoUnit(x, y Unit) Unit {
+	switch {
+	case x == UnitBytes && y == UnitCycles:
+		return UnitBytesPerCycle
+	case x == UnitBytes && y == UnitBytesPerCycle:
+		return UnitCycles
+	}
+	return UnitUnknown
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"beacon/tools/beaconlint/analysis"
+	"beacon/tools/beaconlint/analyzers"
+	"beacon/tools/beaconlint/dataflow"
+	"beacon/tools/beaconlint/load"
+)
+
+// factmodDir is a self-contained module (invisible to the enclosing
+// build, as all of testdata is) whose package b violates unit and seed
+// discipline in ways only visible through package a's dataflow facts.
+var factmodDir = filepath.Join("testdata", "factmod")
+
+// suiteDiagnostics mirrors the standalone driver: load, topo-sort, one
+// shared fact store across the run.
+func suiteDiagnostics(t *testing.T, patterns ...string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(load.Config{Dir: factmodDir, Tests: false, Fset: fset}, patterns...)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pkgs = load.TopoSort(pkgs)
+	facts := dataflow.NewStore()
+	known := analyzers.Names()
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runSuite(pkg, facts, known)
+		if err != nil {
+			t.Fatalf("runSuite(%s): %v", pkg.Path, err)
+		}
+		all = append(all, diags...)
+	}
+	return all
+}
+
+// TestCrossPackageFacts proves unit and seed facts computed from package
+// a's bodies reach call sites in package b through the shared store.
+func TestCrossPackageFacts(t *testing.T) {
+	diags := suiteDiagnostics(t, "./...")
+	var unitHit, seedHit bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "unitflow" && strings.Contains(d.Message, "cycles and seconds mixed"):
+			unitHit = true
+		case d.Analyzer == "seedflow" && strings.Contains(d.Message, `seed parameter "base" of Forward derives from range index "i"`):
+			seedHit = true
+		default:
+			t.Errorf("unexpected diagnostic: [%s] %s", d.Analyzer, d.Message)
+		}
+	}
+	if !unitHit {
+		t.Error("missing unitflow diagnostic: a.Elapsed's seconds fact did not reach package b")
+	}
+	if !seedHit {
+		t.Error("missing seedflow diagnostic: a.Forward's seed-forwarding fact did not reach package b")
+	}
+
+	// Package a itself is clean: the facts describe it, they don't flag it.
+	if diags := suiteDiagnostics(t, "./a"); len(diags) != 0 {
+		t.Errorf("package a should be clean, got %v", diags)
+	}
+
+	// Control: with package a outside the run, its facts are never
+	// computed and b's violations are invisible — the diagnostics above
+	// really do come from cross-package facts.
+	if diags := suiteDiagnostics(t, "./b"); len(diags) != 0 {
+		t.Errorf("package b alone should report nothing (no facts), got %v", diags)
+	}
+}

@@ -14,6 +14,7 @@ package load
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -34,6 +35,11 @@ import (
 type Package struct {
 	// Path is the import path ("_test"-suffixed for external test pkgs).
 	Path string
+	// Imports are the import paths this unit depends on (test imports
+	// included; external test packages list the package under test). The
+	// driver topologically orders a run with them so cross-package facts
+	// flow dependency-first.
+	Imports []string
 	// Fset is the shared file set positions resolve against.
 	Fset *token.FileSet
 	// Files is the parsed syntax, with comments.
@@ -44,8 +50,9 @@ type Package struct {
 	Info *types.Info
 }
 
-// Pass adapts the package for one analyzer, routing diagnostics to report.
-func (p *Package) Pass(a *analysis.Analyzer, report func(analysis.Diagnostic)) *analysis.Pass {
+// Pass adapts the package for one analyzer, routing diagnostics to report
+// and cross-package facts to facts (which may be nil).
+func (p *Package) Pass(a *analysis.Analyzer, facts analysis.FactStore, report func(analysis.Diagnostic)) *analysis.Pass {
 	return &analysis.Pass{
 		Analyzer:  a,
 		Fset:      p.Fset,
@@ -54,7 +61,40 @@ func (p *Package) Pass(a *analysis.Analyzer, report func(analysis.Diagnostic)) *
 		PkgPath:   p.Path,
 		TypesInfo: p.Info,
 		Report:    report,
+		Facts:     facts,
 	}
+}
+
+// TopoSort orders pkgs dependency-first (a package after everything it
+// imports), stably: ties keep the input's relative order. The driver runs
+// analyzers in this order so facts exported by a dependency are visible
+// when its importers are checked.
+func TopoSort(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return // cycle (impossible in Go) or already emitted
+		}
+		state[p.Path] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // listPackage is the subset of `go list -json` output the loader consumes.
@@ -138,6 +178,10 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Imports = append(pkg.Imports, t.Imports...)
+		if cfg.Tests {
+			pkg.Imports = append(pkg.Imports, t.TestImports...)
+		}
 		out = append(out, pkg)
 		if cfg.Tests && len(t.XTestGoFiles) > 0 {
 			// The external test package imports the package under test;
@@ -149,6 +193,7 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 			if err != nil {
 				return nil, err
 			}
+			xpkg.Imports = append(append(xpkg.Imports, t.XTestImports...), t.ImportPath)
 			out = append(out, xpkg)
 		}
 	}
@@ -259,7 +304,7 @@ func goList(dir string, flags []string, patterns ...string) ([]listPackage, erro
 	seen := map[string]bool{}
 	for {
 		var p listPackage
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("load: go list output: %v", err)

@@ -1,0 +1,21 @@
+// Package a exports functions whose unit and seed behavior is visible
+// only in their bodies — callers in package b can be checked only if the
+// dataflow facts computed here flow across the package boundary.
+package a
+
+const step = 1.25e-9
+
+// Elapsed returns the duration of n steps. Neither the name nor the
+// signature carries a unit; the seconds fact comes from the body.
+func Elapsed(n int) float64 {
+	totalSeconds := float64(n) * step
+	return totalSeconds
+}
+
+func consume(seed uint64) uint64 { return seed }
+
+// Forward forwards base into a seed sink; the fact makes callers'
+// arguments seed sinks too.
+func Forward(base uint64) uint64 {
+	return consume(base)
+}

@@ -1,0 +1,19 @@
+// Package b violates unit and seed discipline in ways only visible
+// through package a's dataflow facts.
+package b
+
+import "example.com/factmod/a"
+
+// Mix adds cycles to a.Elapsed's seconds; the mismatch is only knowable
+// from Elapsed's body-derived result-unit fact.
+func Mix(busyCycles int64) float64 {
+	return float64(busyCycles) + a.Elapsed(4)
+}
+
+// Seeds passes a range index to a.Forward, which forwards it into a seed;
+// the sink is only knowable from Forward's seed-forwarding fact.
+func Seeds(points []uint64) {
+	for i := range points {
+		a.Forward(uint64(i))
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/factmod
+
+go 1.22

@@ -32,3 +32,23 @@ func namesNoAnalyzer() int {
 	y := 2 //beaconlint:allow // want `names no analyzer`
 	return y
 }
+
+// The dataflow-backed analyzers participate in directive handling like any
+// other: reasoned suppressions hold, stale ones are reported by name.
+
+func suppressedUnitflow(busyCycles int64, idleSeconds float64) float64 {
+	//beaconlint:allow unitflow fixture: cross-unit sum is the point here
+	return float64(busyCycles) + idleSeconds
+}
+
+func staleUnitflow(busyCycles int64) int64 {
+	return busyCycles + 1 //beaconlint:allow unitflow nothing to excuse // want `stale beaconlint:allow: no unitflow diagnostic here anymore`
+}
+
+func staleSeedflow(seed uint64) uint64 {
+	return seed //beaconlint:allow seedflow nothing to excuse // want `stale beaconlint:allow: no seedflow diagnostic here anymore`
+}
+
+func staleErrwrap(err error) error {
+	return err //beaconlint:allow errwrap nothing to excuse // want `stale beaconlint:allow: no errwrap diagnostic here anymore`
+}

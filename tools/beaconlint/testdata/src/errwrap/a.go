@@ -1,0 +1,66 @@
+// Package ewrap exercises the errwrap analyzer: identity comparisons
+// against sentinels and %v/%s wrapping of sentinels are diagnosed;
+// errors.Is, %w, and nil checks are not.
+package ewrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt and errInternal are sentinels: package-level error variables.
+var (
+	ErrCorrupt  = errors.New("ewrap: corrupt")
+	errInternal = errors.New("ewrap: internal")
+)
+
+func badComparison(err error) bool {
+	if err == ErrCorrupt { // want `error compared against sentinel ErrCorrupt with ==/!=; a sentinel wrapped with %w never compares equal — use errors\.Is`
+		return true
+	}
+	return err != errInternal // want `error compared against sentinel errInternal with ==/!=`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrCorrupt: // want `switch case compares error against sentinel ErrCorrupt by identity; a wrapped ErrCorrupt never matches — use if errors\.Is\(err, ErrCorrupt\)`
+		return "corrupt"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func badWrap(path string) error {
+	return fmt.Errorf("open %s: %v", path, ErrCorrupt) // want `sentinel ErrCorrupt passed to fmt\.Errorf through %v; its identity is erased and errors\.Is stops matching — wrap with %w`
+}
+
+func badWrapS(path string) error {
+	return fmt.Errorf("open %s: %s", path, errInternal) // want `sentinel errInternal passed to fmt\.Errorf through %s`
+}
+
+// Width, precision, and '*' shift argument positions; the parse must track
+// them to land on the sentinel.
+func badWrapStarred(n int) error {
+	return fmt.Errorf("after %*d retries: %v", 8, n, ErrCorrupt) // want `sentinel ErrCorrupt passed to fmt\.Errorf through %v`
+}
+
+func goodUsage(err error, path string) error {
+	if errors.Is(err, ErrCorrupt) { // the sanctioned match
+		return nil
+	}
+	if err == nil { // nil checks are not identity matches
+		return nil
+	}
+	if wrapped := fmt.Errorf("open %s: %w", path, ErrCorrupt); wrapped != nil { // %w keeps identity
+		return wrapped
+	}
+	// Comparing two non-sentinel errors is outside the contract.
+	other := errors.New("local")
+	if err == other {
+		return nil
+	}
+	// A sentinel under %v in a plain message context still erases
+	// identity, but %d/%q of non-errors never trips the parse.
+	return fmt.Errorf("retry %d %q: %w", 3, path, err)
+}

@@ -1,0 +1,93 @@
+// Package sflow exercises the seedflow analyzer: seeds derived from range
+// positions, map-order-dependent counters, or ambient state are diagnosed;
+// seeds derived from config fields, elements, hashes, and constants are
+// not.
+package sflow
+
+import (
+	"os"
+	"time"
+
+	"beacon/internal/sim"
+)
+
+// Config mirrors the repository's seeded-config shape.
+type Config struct {
+	Seed      uint64
+	FaultSeed uint64
+}
+
+type point struct {
+	size uint64
+	name string
+}
+
+// hashPoint stands in for calib.pointSeed-style identity hashing.
+func hashPoint(base, size uint64) uint64 { return base ^ size*0x9e3779b97f4a7c15 }
+
+func goodSeeds(cfg Config, points []point) {
+	_ = sim.NewRNG(42)           // constant: fine
+	_ = sim.NewRNG(cfg.Seed)     // config field: fine
+	_ = sim.NewRNG(cfg.Seed + 1) // derived from config: fine
+	for _, p := range points {   // element value, not position
+		_ = sim.NewRNG(hashPoint(cfg.Seed, p.size)) // point-identity hash: fine
+	}
+	// A C-style counter outside any map range is deterministic.
+	for i := 0; i < 4; i++ {
+		_ = sim.NewRNG(cfg.Seed + uint64(i))
+	}
+}
+
+func rangeIndexSeed(cfg Config, points []point) {
+	for i := range points {
+		_ = sim.NewRNG(cfg.Seed + uint64(i)) // want `sim\.NewRNG seed derives from range index "i": a position, not an identity`
+	}
+}
+
+func mapOrderSeed(cfg Config, byName map[string]point) {
+	n := uint64(0)
+	for range byName {
+		n++
+		_ = sim.NewRNG(cfg.Seed + n) // want `sim\.NewRNG seed derives from "n", which is written under map iteration; its value depends on map order`
+	}
+}
+
+func ambientSeed() {
+	_ = sim.NewRNG(uint64(time.Now().UnixNano())) // want `sim\.NewRNG seed derives from ambient time\.Now; seeds must flow from config fields, point-identity hashes, or constants`
+	_ = sim.NewRNG(uint64(os.Getpid()))           // want `sim\.NewRNG seed derives from ambient os\.Getpid`
+}
+
+// seed-named parameters are sinks even without sim.NewRNG in sight.
+func runTrial(trialSeed uint64) uint64 { return trialSeed }
+
+func seedParamSink(points []point) {
+	for i := range points {
+		_ = runTrial(uint64(i)) // want `seed parameter "trialSeed" of runTrial derives from range index "i"`
+	}
+}
+
+// seed-named struct fields are sinks.
+type injector struct {
+	Seed uint64
+}
+
+func seedFieldSink(points []point) []injector {
+	var out []injector
+	for i := range points {
+		out = append(out, injector{Seed: uint64(i)}) // want `seed field Seed derives from range index "i"`
+	}
+	return out
+}
+
+// derive forwards its parameter into a seed sink; the fact makes callers'
+// arguments sinks too, one hop away.
+func derive(base uint64) *sim.RNG {
+	return sim.NewRNG(base ^ 0xabcdef)
+}
+
+func forwardedSink(cfg Config, points []point) {
+	_ = derive(cfg.Seed) // config through the forwarding fact: fine
+	for i := range points {
+		_ = derive(uint64(i)) // want `seed parameter "base" of derive derives from range index "i"`
+	}
+}

@@ -1,0 +1,95 @@
+// Package uflow exercises the unitflow analyzer: cross-unit arithmetic,
+// mis-unit assignments and call arguments, and raw CyclePeriodSeconds
+// references outside internal/sim are diagnosed; unit-correct physics is
+// not.
+package uflow
+
+import "beacon/internal/sim"
+
+// Report mirrors the artifact structs whose field names carry units.
+type Report struct {
+	SetupSeconds float64
+	StallCycles  int64
+	TotalBytes   uint64
+}
+
+func crossUnitArithmetic(busyCycles int64, elapsedSeconds float64) {
+	_ = float64(busyCycles) + elapsedSeconds  // want `cycles and seconds mixed in arithmetic; convert through internal/sim/time\.go first`
+	_ = elapsedSeconds - float64(busyCycles)  // want `seconds and cycles mixed in arithmetic; convert through internal/sim/time\.go first`
+	if float64(busyCycles) > elapsedSeconds { // want `cycles and seconds compared; convert through internal/sim/time\.go first`
+		return
+	}
+	// Same unit on both sides: fine.
+	_ = busyCycles + busyCycles
+	// Constants are unitless and adopt the other side's unit.
+	_ = busyCycles + 5
+	_ = elapsedSeconds * 2
+}
+
+func typedCycles(span sim.Cycle, windowSeconds float64) {
+	// The sim.Cycle type is evidence even without a name convention.
+	_ = float64(span) + windowSeconds // want `cycles and seconds mixed in arithmetic; convert through internal/sim/time\.go first`
+}
+
+func misAssignment(waitCycles int64) {
+	var totalSeconds float64
+	totalSeconds = float64(waitCycles) // want `cycles value assigned to seconds-named totalSeconds`
+	_ = totalSeconds
+
+	// Converting first is the sanctioned path.
+	okSeconds := sim.Seconds(sim.Cycle(waitCycles))
+	_ = okSeconds
+}
+
+func misField(stallCycles int64) Report {
+	return Report{
+		SetupSeconds: float64(stallCycles), // want `cycles value assigned to seconds-named field SetupSeconds`
+		StallCycles:  stallCycles,
+	}
+}
+
+func takesSeconds(windowSeconds float64) float64 { return windowSeconds }
+
+func misArgument(busyCycles int64) {
+	_ = takesSeconds(float64(busyCycles)) // want `cycles value passed to seconds parameter "windowSeconds" of takesSeconds`
+	_ = takesSeconds(sim.Seconds(sim.Cycle(busyCycles)))
+}
+
+// elapsedSeconds has an unnamed numeric result; the unit comes from the
+// function's own name and flows to call sites through the local fact.
+func elapsedSeconds(r *Report) float64 {
+	return r.SetupSeconds
+}
+
+func factThroughCall(busyCycles int64) {
+	_ = float64(busyCycles) + elapsedSeconds(nil) // want `cycles and seconds mixed in arithmetic; convert through internal/sim/time\.go first`
+}
+
+// Units propagate through local assignment chains.
+func chained(r Report) {
+	s := r.SetupSeconds
+	total := s * 2 // multiplying by a count leaves the lattice...
+	_ = total
+	u := s
+	_ = float64(r.StallCycles) + u // want `cycles and seconds mixed in arithmetic; convert through internal/sim/time\.go first`
+}
+
+// The product and ratio rules keep real physics quiet.
+func physics(migratedBytes uint64, spanCycles int64, rateBytesPerCycle float64) {
+	bytesMoved := rateBytesPerCycle * float64(spanCycles) // bytes/cycle x cycles = bytes
+	_ = float64(migratedBytes) + bytesMoved
+	transferCycles := float64(migratedBytes) / rateBytesPerCycle // bytes / bpc = cycles
+	_ = float64(spanCycles) + transferCycles
+	measuredBytesPerCycle := float64(migratedBytes) / float64(spanCycles) // bytes / cycles = bpc
+	_ = rateBytesPerCycle + measuredBytesPerCycle
+}
+
+func rawConversion(busyCycles int64) float64 {
+	return float64(busyCycles) * sim.CyclePeriodSeconds // want `raw cycle<->seconds conversion via sim\.CyclePeriodSeconds outside internal/sim/time\.go; use sim\.Seconds, sim\.SecondsOf or sim\.CyclesIn`
+}
+
+func sanctionedConversion(busyCycles int64, windowSeconds float64) {
+	_ = sim.SecondsOf(float64(busyCycles))
+	_ = sim.CyclesIn(windowSeconds)
+	_ = sim.Seconds(sim.Cycle(busyCycles))
+}

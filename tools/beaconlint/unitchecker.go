@@ -1,10 +1,16 @@
 // go vet -vettool mode. The go command drives a vet tool once per package:
 // it writes a JSON "vet config" describing the package (sources, import
-// map, export-data files for every dependency) and invokes the tool with
-// that file as its only argument. The tool type-checks from the config,
-// reports diagnostics on stderr with exit code 2, and must write the facts
-// file the config names (beaconlint has no facts; an empty file satisfies
-// the protocol).
+// map, export-data files for every dependency, .vetx fact files its
+// dependencies produced) and invokes the tool with that file as its only
+// argument. The tool type-checks from the config, reports diagnostics on
+// stderr with exit code 2, and must write the facts file the config names.
+//
+// Since the dataflow layer landed, the facts file is no longer empty: it
+// carries the serialized dataflow.Store (unit and seed facts computed for
+// this package plus everything inherited from its dependencies), so
+// cross-package fact propagation works identically in vettool mode and
+// standalone mode. Exit codes match the standalone driver: 0 clean, 1
+// load/internal error, 2 findings.
 //
 // This mirrors golang.org/x/tools/go/analysis/unitchecker, which the
 // module does not depend on.
@@ -14,11 +20,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/token"
-	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"beacon/tools/beaconlint/analyzers"
+	"beacon/tools/beaconlint/dataflow"
 	"beacon/tools/beaconlint/load"
 )
 
@@ -30,35 +37,82 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
 	SucceedOnTypecheckFailure bool
 }
 
+// modulePath scopes fact computation: only module packages produce facts,
+// so VetxOnly visits to the standard library stay cheap.
+const modulePath = "beacon"
+
 func unitcheckerMain(cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "beaconlint:", err)
-		return 1
+		return exitError
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "beaconlint: parsing %s: %v\n", cfgFile, err)
-		return 1
+		return exitError
 	}
-	// The facts file must exist even for packages we only visit as
-	// dependencies.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+
+	// Inherit facts from every dependency's .vetx file. Old empty files
+	// and foreign content merge as nothing.
+	facts := dataflow.NewStore()
+	for _, path := range sortedValues(cfg.PackageVetx) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // a dependency outside the vet run; no facts to inherit
+		}
+		if err := facts.Merge(data); err != nil {
 			fmt.Fprintln(os.Stderr, "beaconlint:", err)
-			return 1
+			return exitError
+		}
+	}
+
+	// Vet names test variants "pkg [pkg.test]" and "pkg_test [pkg.test]";
+	// analyzers key package-path policy off the plain path.
+	path := cfg.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+
+	// Packages outside the module are only visited for their facts, and
+	// the suite computes none for them: write the inherited store through
+	// and stop. Module packages are analyzed even when VetxOnly — their
+	// facts feed dependent packages — but report nothing.
+	analyze := strings.HasPrefix(path, modulePath+"/") || path == modulePath
+	var exit int
+	if analyze {
+		exit = analyzeUnit(&cfg, path, facts)
+		if exit == exitError && cfg.SucceedOnTypecheckFailure {
+			exit = exitClean
+		}
+	}
+	if cfg.VetxOutput != "" {
+		data, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beaconlint:", err)
+			return exitError
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "beaconlint:", err)
+			return exitError
 		}
 	}
 	if cfg.VetxOnly {
-		return 0
+		return exitClean
 	}
+	return exit
+}
 
+// analyzeUnit loads and checks one compilation unit, reporting
+// diagnostics unless the config is facts-only.
+func analyzeUnit(cfg *vetConfig, path string, facts *dataflow.Store) int {
 	fset := token.NewFileSet()
 	exports := map[string]string{}
 	for path, file := range cfg.PackageFile {
@@ -72,31 +126,38 @@ func unitcheckerMain(cfgFile string) int {
 		}
 	}
 
-	// Vet names test variants "pkg [pkg.test]" and "pkg_test [pkg.test]";
-	// analyzers key package-path policy off the plain path.
-	path := cfg.ImportPath
-	if i := strings.Index(path, " ["); i >= 0 {
-		path = path[:i]
-	}
-
 	pkg, err := load.LoadFiles(fset, path, cfg.GoFiles, exports)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
 		fmt.Fprintln(os.Stderr, "beaconlint:", err)
-		return 1
+		return exitError
 	}
-	diags, err := runSuite(pkg, analyzers.Names())
+	diags, err := runSuite(pkg, facts, analyzers.Names())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "beaconlint:", err)
-		return 1
+		return exitError
 	}
-	exit := 0
-	w := io.Writer(os.Stderr)
+	if cfg.VetxOnly {
+		return exitClean
+	}
+	exit := exitClean
 	for _, d := range diags {
-		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
-		exit = 2
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		exit = exitFindings
 	}
 	return exit
+}
+
+// sortedValues returns m's values in key order, so fact merging (and any
+// error it surfaces) is deterministic.
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
 }
