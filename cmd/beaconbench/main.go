@@ -67,10 +67,11 @@ func main() {
 	flag.Parse()
 	of.HandleVersion()
 
-	faults, err := of.FaultProfile()
+	// Resolve -faults/-fault-seed/-scheduler through the RunSpec path —
+	// the same construction every other entry point uses.
+	base, err := of.PlatformSpec(beacon.BeaconD, beacon.AllOptimizations())
 	check(err)
-	sched, err := of.SchedulerKind()
-	check(err)
+	faults, sched := base.Faults, base.Scheduler
 
 	if *calibrate {
 		os.Exit(runCalibrate(os.Stdout, sched, calibFlags{

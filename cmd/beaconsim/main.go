@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 	"time"
 
 	beacon "beacon"
@@ -46,76 +45,27 @@ func main() {
 	log.SetPrefix("beaconsim: ")
 
 	var (
-		app      = flag.String("app", "fm-seeding", "application: fm-seeding | hash-seeding | kmer-counting | pre-alignment")
-		species  = flag.String("species", "Pt", "dataset: Pt | Pg | Ss | Am | Nf | Hs")
-		platform = flag.String("platform", "beacon-d", "comma-separated platforms: cpu | ddr-ndp | beacon-d | beacon-s")
-		scale    = flag.Int("scale", 30000, "genome scale (bases per relative Gbp)")
-		reads    = flag.Int("reads", 500, "read count")
-		seed     = flag.Uint64("seed", 0xBEAC07, "sampling seed")
-
-		vanilla    = flag.Bool("vanilla", false, "disable all optimizations (CXL-vanilla)")
-		ideal      = flag.Bool("ideal", false, "idealized communication")
-		singlepass = flag.Bool("singlepass", false, "single-pass k-mer counting flow")
-
 		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
+	sf := cliutil.RegisterSpec()
 	// One (or a handful of) simulations: default to full timelines.
 	of := cliutil.Register(obs.DefaultTraceCap)
 	flag.Parse()
 	of.HandleVersion()
 
-	var a beacon.Application
-	switch *app {
-	case "fm-seeding":
-		a = beacon.FMSeeding
-	case "hash-seeding":
-		a = beacon.HashSeeding
-	case "kmer-counting":
-		a = beacon.KmerCounting
-	case "pre-alignment":
-		a = beacon.PreAlignment
-	default:
-		log.Fatalf("unknown application %q", *app)
-	}
-
-	var kinds []beacon.PlatformKind
-	for _, name := range strings.Split(*platform, ",") {
-		switch strings.TrimSpace(name) {
-		case "cpu":
-			kinds = append(kinds, beacon.CPU)
-		case "ddr-ndp":
-			kinds = append(kinds, beacon.DDRBaseline)
-		case "beacon-d":
-			kinds = append(kinds, beacon.BeaconD)
-		case "beacon-s":
-			kinds = append(kinds, beacon.BeaconS)
-		default:
-			log.Fatalf("unknown platform %q", name)
-		}
-	}
-
-	faults, err := of.FaultProfile()
+	// The flag surface compiles down to one RunSpec per platform — the
+	// same construction path the beaconsimd daemon serves.
+	specs, err := sf.Specs(of)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched, err := of.SchedulerKind()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	cfg := beacon.DefaultWorkloadConfig(beacon.Species(*species))
-	cfg.GenomeScale = *scale
-	cfg.Reads = *reads
-	cfg.Seed = *seed
-	if *singlepass {
-		cfg.Flow = beacon.SinglePass
-	}
+	cfg := specs[0].Workload.Config
 
 	fmt.Println(obs.NewProvenance(cfg, cfg.Seed).Header(0))
 
 	wc := openWorkloadCache(of)
-	wl, err := beacon.NewWorkloadCached(a, cfg, wc)
+	wl, err := specs[0].Workload.Build(wc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,14 +75,6 @@ func main() {
 		if st := wc.Stats(); st.Hits > 0 {
 			fmt.Printf("workload cache: hit (%s)\n", wc.Dir())
 		}
-	}
-
-	opts := beacon.AllOptimizations()
-	if *vanilla {
-		opts = beacon.Vanilla()
-	}
-	if *ideal {
-		opts.IdealComm = true
 	}
 
 	ctx := context.Background()
@@ -149,11 +91,15 @@ func main() {
 	pool := runner.NewPool(*jobs)
 	of.ObservePool(pool)
 
-	simJobs := make([]runner.Job[*beacon.Report], len(kinds))
-	for i, kind := range kinds {
-		kind := kind
-		label := fmt.Sprintf("%s/%s/%s", wl.Name, kind, optsName(*vanilla, *ideal))
-		p := beacon.Platform{Kind: kind, Opts: opts, Faults: faults, FaultSeed: of.FaultSeed, Scheduler: sched}
+	simJobs := make([]runner.Job[*beacon.Report], len(specs))
+	for i, spec := range specs {
+		p, err := spec.Platform()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The workload is built once and shared: Run replays the spec's
+		// platform over the prebuilt trace.
+		label := fmt.Sprintf("%s/%s/%s", wl.Name, p.Kind, sf.OptsName())
 		simJobs[i] = runner.Job[*beacon.Report]{
 			Label: label,
 			Fn: func(context.Context) (*beacon.Report, error) {
@@ -173,10 +119,10 @@ func main() {
 		log.Fatal(err)
 	}
 	for i, rep := range reports {
-		printReport(kinds[i], rep)
+		printReport(specs[i].Kind, rep)
 	}
-	if len(kinds) > 1 {
-		fmt.Printf("simulated %d platforms in %v\n", len(kinds), time.Since(start).Round(time.Millisecond))
+	if len(specs) > 1 {
+		fmt.Printf("simulated %d platforms in %v\n", len(specs), time.Since(start).Round(time.Millisecond))
 	}
 	if err := of.WriteOutputs(col); err != nil {
 		stopProfiles()
@@ -200,19 +146,6 @@ func openWorkloadCache(of *cliutil.Flags) *beacon.WorkloadCache {
 		return nil
 	}
 	return wc
-}
-
-// optsName names the optimization position for job labels.
-func optsName(vanilla, ideal bool) string {
-	switch {
-	case vanilla && ideal:
-		return "vanilla-ideal"
-	case vanilla:
-		return "vanilla"
-	case ideal:
-		return "ideal"
-	}
-	return "optimized"
 }
 
 func printReport(kind beacon.PlatformKind, rep *beacon.Report) {

@@ -24,4 +24,42 @@ var (
 	// so it surfaces only through WorkloadCache.Stats, never as a failure
 	// of NewWorkloadCached.
 	ErrCacheCorrupt = wcache.ErrCorrupt
+	// ErrQueueFull reports that a job service's bounded admission queue
+	// has no room; the submission was not accepted and may be retried.
+	ErrQueueFull = errors.New("beacon: job queue full")
+	// ErrQuotaExhausted reports that a tenant has spent its admission
+	// quota; the submission was not accepted and may be retried later.
+	ErrQuotaExhausted = errors.New("beacon: tenant quota exhausted")
 )
+
+// httpStatusTable maps each sentinel onto its API status code. Order
+// matters only in that the first errors.Is match wins; the sentinels are
+// disjoint, so a wrapped error matches at most one row.
+var httpStatusTable = []struct {
+	sentinel error
+	status   int
+}{
+	{ErrBadConfig, 400},      // malformed or inconsistent spec
+	{ErrUnknownSpecies, 422}, // well-formed, but no such dataset
+	{ErrUnsupportedApp, 422}, // well-formed, but not a runnable application
+	{ErrQueueFull, 429},      // back-pressure: retry later
+	{ErrQuotaExhausted, 429}, // per-tenant back-pressure: retry later
+	{ErrCacheCorrupt, 500},   // server-side storage defect
+}
+
+// HTTPStatus maps an error from the Run/RunSpec machinery onto the HTTP
+// status code a job service should answer with: nil is 200, each sentinel
+// (however deeply wrapped) has a fixed code, and anything unrecognized is
+// a 500. The beaconsimd daemon routes every error response through this
+// single table, so API status semantics live in one place.
+func HTTPStatus(err error) int {
+	if err == nil {
+		return 200
+	}
+	for _, row := range httpStatusTable {
+		if errors.Is(err, row.sentinel) {
+			return row.status
+		}
+	}
+	return 500
+}

@@ -1,7 +1,9 @@
-// Package cliutil holds the observability plumbing shared by the beacon
-// commands: the -version banner, the -metrics/-trace output files, the
-// -progress job log, and the -cpuprofile/-memprofile pprof flags. It keeps
-// the two CLIs' flag surfaces identical without either importing the other.
+// Package cliutil holds the flag plumbing shared by the beacon commands:
+// the -version banner, the -metrics/-trace output files, the -progress job
+// log, the -cpuprofile/-memprofile pprof flags, and the workload/platform
+// spec flags that compile down to beacon.RunSpec values (the single
+// construction path shared with the beaconsimd daemon). It keeps the CLIs'
+// flag surfaces identical without any of them importing another.
 package cliutil
 
 import (
@@ -14,10 +16,8 @@ import (
 	"strings"
 	"sync"
 
-	"beacon/internal/fault"
 	"beacon/internal/obs"
 	"beacon/internal/runner"
-	"beacon/internal/sim"
 )
 
 // Flags is the shared observability flag set.
@@ -82,8 +82,7 @@ func Register(traceCap int) *Flags {
 
 // WorkloadCacheDir resolves the -workload-cache flag: enabled=false for
 // "off", otherwise the directory to open ("" means the caller's default
-// location, for "auto"). cliutil cannot import the beacon facade, so the
-// caller performs the actual open.
+// location, for "auto").
 func (f *Flags) WorkloadCacheDir() (dir string, enabled bool) {
 	switch f.WorkloadCache {
 	case "off", "false", "no":
@@ -93,16 +92,6 @@ func (f *Flags) WorkloadCacheDir() (dir string, enabled bool) {
 	default:
 		return f.WorkloadCache, true
 	}
-}
-
-// FaultProfile resolves the -faults flag to a profile.
-func (f *Flags) FaultProfile() (fault.Profile, error) {
-	return fault.Parse(f.Faults)
-}
-
-// SchedulerKind resolves the -scheduler flag.
-func (f *Flags) SchedulerKind() (sim.SchedulerKind, error) {
-	return sim.ParseSchedulerKind(f.Scheduler)
 }
 
 // HandleVersion prints the build banner and exits when -version was given.

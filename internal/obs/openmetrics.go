@@ -207,6 +207,34 @@ func (c *Collection) WriteOpenMetrics(w io.Writer) error {
 	return writeOpenMetricsSorted(w, fams, order)
 }
 
+// WriteOpenMetricsWith renders the collection's job metrics merged with an
+// extra unlabeled registry into one valid exposition (a single # EOF).
+// The daemon's /metrics endpoint uses it to serve server-level counters
+// (admissions, queue depth, cache traffic) alongside per-job simulation
+// metrics. Either side may be nil; the extra registry's final snapshot is
+// rendered, so callers snapshot it before writing.
+func (c *Collection) WriteOpenMetricsWith(w io.Writer, extra *Registry) error {
+	fams := map[string]*omFamily{}
+	var order []string
+	if c != nil {
+		for _, o := range c.sorted() {
+			counters := map[string]bool{}
+			for _, n := range o.Metrics.counterNames() {
+				counters[n] = true
+			}
+			appendRegistryFamilies(fams, &order, o.Metrics.Dump(), counters, o.Label)
+		}
+	}
+	if extra != nil {
+		counters := map[string]bool{}
+		for _, n := range extra.counterNames() {
+			counters[n] = true
+		}
+		appendRegistryFamilies(fams, &order, extra.Dump(), counters, "")
+	}
+	return writeOpenMetricsSorted(w, fams, order)
+}
+
 func writeOpenMetricsSorted(w io.Writer, fams map[string]*omFamily, order []string) error {
 	// order holds first-appearance order with possible job-interleaving;
 	// sort it for a canonical exposition (names are unique in the map).

@@ -193,3 +193,70 @@ func TestRegistryWriteOpenMetricsUnlabeled(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWriteOpenMetricsWith pins the merged exposition the daemon's
+// /metrics endpoint serves: per-job collection families plus an unlabeled
+// server-level registry, in one parseable document with a single # EOF.
+func TestWriteOpenMetricsWith(t *testing.T) {
+	col := buildCollection()
+	reg := NewRegistry()
+	reg.Counter("beaconsimd.jobs.admitted").Add(2)
+	reg.Gauge("beaconsimd.queue.depth", func() float64 { return 1 })
+	reg.Snapshot(0)
+
+	var b strings.Builder
+	if err := col.WriteOpenMetricsWith(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# EOF"); n != 1 {
+		t.Fatalf("exposition has %d EOF markers, want 1", n)
+	}
+	fams, err := ParseOpenMetrics(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("merged exposition rejected by parser: %v", err)
+	}
+	byName := map[string]*OMFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	// Server-level families arrive unlabeled.
+	adm := byName["beaconsimd_jobs_admitted"]
+	if adm == nil || adm.Type != "counter" || len(adm.Samples) != 1 ||
+		adm.Samples[0].Value != 2 || len(adm.Samples[0].Labels) != 0 {
+		t.Fatalf("server counter family wrong: %+v", adm)
+	}
+	depth := byName["beaconsimd_queue_depth"]
+	if depth == nil || depth.Type != "gauge" || depth.Samples[0].Value != 1 {
+		t.Fatalf("server gauge family wrong: %+v", depth)
+	}
+	// Collection families still carry their job labels.
+	ctr := byName["fault_dram_retries"]
+	if ctr == nil || ctr.Samples[0].Labels["job"] != "fm-seeding/Pt/beacon-d" {
+		t.Fatalf("job-labeled family lost in merge: %+v", ctr)
+	}
+
+	// Either side may be nil.
+	var only strings.Builder
+	if err := col.WriteOpenMetricsWith(&only, nil); err != nil {
+		t.Fatal(err)
+	}
+	var asCol strings.Builder
+	if err := col.WriteOpenMetrics(&asCol); err != nil {
+		t.Fatal(err)
+	}
+	if only.String() != asCol.String() {
+		t.Error("nil extra registry diverges from plain WriteOpenMetrics")
+	}
+	var nilCol strings.Builder
+	if err := (*Collection)(nil).WriteOpenMetricsWith(&nilCol, reg); err != nil {
+		t.Fatal(err)
+	}
+	var asReg strings.Builder
+	if err := reg.WriteOpenMetrics(&asReg); err != nil {
+		t.Fatal(err)
+	}
+	if nilCol.String() != asReg.String() {
+		t.Error("nil collection diverges from Registry.WriteOpenMetrics")
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaConfig configures per-tenant admission quotas as a token bucket:
+// each tenant accrues RatePerSec tokens per second up to Burst, and every
+// accepted submission spends one. Tenants are independent — one noisy
+// tenant exhausts only its own bucket, never a neighbor's.
+type QuotaConfig struct {
+	// RatePerSec is the sustained admission rate per tenant in jobs per
+	// second. <= 0 disables quotas entirely.
+	RatePerSec float64
+	// Burst is the bucket capacity (momentary admission burst). <= 0
+	// selects max(RatePerSec, 1).
+	Burst float64
+}
+
+// bucket is one tenant's token balance at the instant `last`.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas tracks every tenant's bucket. The clock is injected so tests
+// refill deterministically; the daemon passes the wall clock, which is a
+// service concern — tokens gate admission, never simulation results.
+type quotas struct {
+	cfg QuotaConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newQuotas(cfg QuotaConfig, now func() time.Time) *quotas {
+	return &quotas{cfg: cfg, now: now, buckets: make(map[string]*bucket)}
+}
+
+// burst returns the effective bucket capacity.
+func (q *quotas) burst() float64 {
+	if q.cfg.Burst > 0 {
+		return q.cfg.Burst
+	}
+	return math.Max(q.cfg.RatePerSec, 1)
+}
+
+// take spends one token from tenant's bucket. On refusal it returns how
+// long the tenant must wait for the next token (the Retry-After hint).
+func (q *quotas) take(tenant string) (ok bool, retryIn time.Duration) {
+	if q.cfg.RatePerSec <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.now()
+	b, found := q.buckets[tenant]
+	if !found {
+		b = &bucket{tokens: q.burst(), last: t}
+		q.buckets[tenant] = b
+	} else if dt := t.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(q.burst(), b.tokens+dt.Seconds()*q.cfg.RatePerSec)
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := (1 - b.tokens) / q.cfg.RatePerSec
+	return false, time.Duration(deficit * float64(time.Second))
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuotaBucket pins the token-bucket arithmetic under a fake clock.
+func TestQuotaBucket(t *testing.T) {
+	t.Parallel()
+	clock := time.Unix(0, 0)
+	q := newQuotas(QuotaConfig{RatePerSec: 2, Burst: 2}, func() time.Time { return clock })
+
+	// Burst admits two back to back.
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.take("a"); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, retry := q.take("a")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != 500*time.Millisecond {
+		t.Errorf("retry hint = %v, want 500ms (1 token at 2/s)", retry)
+	}
+	// Tenants are independent.
+	if ok, _ := q.take("b"); !ok {
+		t.Error("fresh tenant refused")
+	}
+	// Refill: half a second buys one token, no more.
+	clock = clock.Add(500 * time.Millisecond)
+	if ok, _ := q.take("a"); !ok {
+		t.Error("refilled token refused")
+	}
+	if ok, _ := q.take("a"); ok {
+		t.Error("second token admitted after a one-token refill")
+	}
+	// A long idle stretch caps at the burst, not unbounded credit.
+	clock = clock.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.take("a"); !ok {
+			t.Fatalf("take %d after idle refused", i)
+		}
+	}
+	if ok, _ := q.take("a"); ok {
+		t.Error("idle accrual exceeded the burst cap")
+	}
+}
+
+// TestQuotaDisabled pins that a non-positive rate disables limiting.
+func TestQuotaDisabled(t *testing.T) {
+	t.Parallel()
+	q := newQuotas(QuotaConfig{}, time.Now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.take("a"); !ok {
+			t.Fatal("disabled quota refused a request")
+		}
+	}
+}
+
+// TestQuotaDefaultBurst pins that an unset burst defaults to max(rate, 1).
+func TestQuotaDefaultBurst(t *testing.T) {
+	t.Parallel()
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+
+	q := newQuotas(QuotaConfig{RatePerSec: 3}, now)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.take("a"); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("burst defaulted to %d admissions, want 3 (= rate)", admitted)
+	}
+
+	slow := newQuotas(QuotaConfig{RatePerSec: 0.25}, now)
+	if ok, _ := slow.take("a"); !ok {
+		t.Error("sub-1 rate did not default burst to 1")
+	}
+	if ok, _ := slow.take("a"); ok {
+		t.Error("sub-1 rate admitted beyond the single-token burst")
+	}
+}

@@ -1,12 +1,14 @@
-// Package goroutinescope confines raw concurrency to the two packages that
+// Package goroutinescope confines raw concurrency to the packages that
 // own it.
 //
 // The repository's parallelism contract: every concurrent execution path
 // flows through internal/runner's deterministic job pool (bounded slots,
-// insertion-order aggregation), and internal/obs may use the usual sync
-// primitives to make observation thread-safe. Everywhere else, a `go`
-// statement, a raw channel, or a hand-rolled sync.WaitGroup fan-out is a
-// bypass of the pool — it escapes the global -jobs bound and reintroduces
+// insertion-order aggregation), internal/obs may use the usual sync
+// primitives to make observation thread-safe, and internal/server owns
+// the beaconsimd daemon's admission queue and worker set (which execute
+// jobs through the runner pool, so the global concurrency bound holds).
+// Everywhere else, a `go` statement, a raw channel, or a hand-rolled
+// sync.WaitGroup fan-out is a bypass of the pool — it escapes the global -jobs bound and reintroduces
 // completion-order nondeterminism the runner exists to remove.
 package goroutinescope
 
@@ -21,7 +23,7 @@ import (
 // Analyzer is the goroutinescope analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "goroutinescope",
-	Doc:  "confine go statements, channels, and WaitGroup fan-out to internal/runner and internal/obs",
+	Doc:  "confine go statements, channels, and WaitGroup fan-out to internal/runner, internal/obs, and internal/server",
 	Run:  run,
 }
 
@@ -29,6 +31,7 @@ var Analyzer = &analysis.Analyzer{
 var allowedPrefixes = []string{
 	"beacon/internal/runner",
 	"beacon/internal/obs",
+	"beacon/internal/server",
 }
 
 func run(pass *analysis.Pass) error {

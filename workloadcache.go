@@ -69,34 +69,16 @@ func (wc *WorkloadCache) Dir() string { return wc.c.Dir() }
 // Stats returns hit/miss/corrupt/put counters since OpenWorkloadCache.
 func (wc *WorkloadCache) Stats() WorkloadCacheStats { return wc.c.Stats() }
 
-// Compile-time guard: the unkeyed literal fails to compile when
-// WorkloadConfig gains or loses a field, forcing workloadCacheKey (which
-// must enumerate every field) to be revisited.
-var _ = WorkloadConfig{"", 0, 0, 0, 0, 0, 0, 0, false, 0, 0, MultiPass, 0, 0}
-
-// workloadCacheKey builds the canonical identity string for (app, cfg).
-// Every WorkloadConfig field participates, plus the codec and generator
-// versions: any knob or format change addresses a different entry, so
+// workloadCacheKey builds the canonical identity string for (app, cfg):
+// the WorkloadSpec canonical encoding (which enumerates every field, under
+// the compile guard in runspec.go) prefixed with the codec and generator
+// versions. Any knob or format change addresses a different entry, so
 // stale hits are impossible by construction.
 func workloadCacheKey(app Application, cfg WorkloadConfig) string {
 	return strings.Join([]string{
 		"codec=" + strconv.Itoa(trace.CodecVersion),
 		"gen=" + strconv.Itoa(workloadGenVersion),
-		"app=" + app.String(),
-		"species=" + string(cfg.Species),
-		"scale=" + strconv.Itoa(cfg.GenomeScale),
-		"reads=" + strconv.Itoa(cfg.Reads),
-		"readlen=" + strconv.Itoa(cfg.ReadLength),
-		"errrate=" + strconv.FormatFloat(cfg.ErrorRate, 'g', -1, 64),
-		"seed=" + strconv.FormatUint(cfg.Seed, 10),
-		"seedlen=" + strconv.Itoa(cfg.SeedLen),
-		"maxhits=" + strconv.Itoa(cfg.MaxHits),
-		"mem=" + strconv.FormatBool(cfg.MEMSeeding),
-		"memminlen=" + strconv.Itoa(cfg.MEMMinLen),
-		"k=" + strconv.Itoa(cfg.K),
-		"flow=" + strconv.Itoa(int(cfg.Flow)),
-		"maxedits=" + strconv.Itoa(cfg.MaxEdits),
-		"candidates=" + strconv.Itoa(cfg.Candidates),
+		WorkloadSpec{App: app, Config: cfg}.CanonicalString(),
 	}, "|")
 }
 

@@ -5,10 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"sort"
+	"strconv"
 	"testing"
 
 	"beacon/internal/obs"
+	"beacon/internal/trace"
 	"beacon/internal/wcache"
 )
 
@@ -105,42 +106,21 @@ func TestWorkloadCacheCorruptFallback(t *testing.T) {
 	}
 }
 
-// TestWorkloadCacheKeyCoversEveryField mutates each WorkloadConfig knob and
-// checks the canonical identity changes — the property that makes stale
-// hits impossible.
-func TestWorkloadCacheKeyCoversEveryField(t *testing.T) {
+// TestWorkloadCacheKeyVersioned pins the cache key's shape: the
+// WorkloadSpec canonical encoding (whose per-field coverage lives in
+// TestRunSpecCanonicalHashCoversEveryField) prefixed with the codec and
+// generator versions, so a format bump orphans old entries.
+func TestWorkloadCacheKeyVersioned(t *testing.T) {
 	t.Parallel()
-	base := DefaultWorkloadConfig(PinusTaeda)
-	baseKey := workloadCacheKey(FMSeeding, base)
-	mutations := map[string]func(*WorkloadConfig){
-		"Species":     func(c *WorkloadConfig) { c.Species = Human },
-		"GenomeScale": func(c *WorkloadConfig) { c.GenomeScale++ },
-		"Reads":       func(c *WorkloadConfig) { c.Reads++ },
-		"ReadLength":  func(c *WorkloadConfig) { c.ReadLength++ },
-		"ErrorRate":   func(c *WorkloadConfig) { c.ErrorRate += 0.001 },
-		"Seed":        func(c *WorkloadConfig) { c.Seed++ },
-		"SeedLen":     func(c *WorkloadConfig) { c.SeedLen++ },
-		"MaxHits":     func(c *WorkloadConfig) { c.MaxHits++ },
-		"MEMSeeding":  func(c *WorkloadConfig) { c.MEMSeeding = true },
-		"MEMMinLen":   func(c *WorkloadConfig) { c.MEMMinLen++ },
-		"K":           func(c *WorkloadConfig) { c.K++ },
-		"Flow":        func(c *WorkloadConfig) { c.Flow = SinglePass },
-		"MaxEdits":    func(c *WorkloadConfig) { c.MaxEdits++ },
-		"Candidates":  func(c *WorkloadConfig) { c.Candidates++ },
+	cfg := DefaultWorkloadConfig(PinusTaeda)
+	key := workloadCacheKey(FMSeeding, cfg)
+	want := "codec=" + strconv.Itoa(trace.CodecVersion) +
+		"|gen=" + strconv.Itoa(workloadGenVersion) +
+		"|" + WorkloadSpec{App: FMSeeding, Config: cfg}.CanonicalString()
+	if key != want {
+		t.Errorf("cache key drifted:\ngot  %s\nwant %s", key, want)
 	}
-	names := make([]string, 0, len(mutations))
-	for name := range mutations {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		cfg := base
-		mutations[name](&cfg)
-		if workloadCacheKey(FMSeeding, cfg) == baseKey {
-			t.Errorf("changing %s does not change the cache key", name)
-		}
-	}
-	if workloadCacheKey(HashSeeding, base) == baseKey {
+	if workloadCacheKey(HashSeeding, cfg) == key {
 		t.Error("changing the application does not change the cache key")
 	}
 }
